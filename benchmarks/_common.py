@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark regenerators.
+
+Each benchmark regenerates one table or figure of the paper, times the
+regeneration with pytest-benchmark, prints the ASCII artifact (run pytest
+with ``-s`` to see it) and archives it under ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def publish(name: str, text: str) -> None:
+    """Print an artifact and archive it for EXPERIMENTS.md."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[artifact saved to benchmarks/out/{name}.txt]")

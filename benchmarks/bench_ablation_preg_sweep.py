@@ -1,0 +1,53 @@
+"""Ablation A4: physical-register design space at a fixed MVL.
+
+Table I fixes the P-reg count as floor(8 KB / MVL); this sweep asks what a
+*larger or smaller* P-VRF would buy at MVL=128 by overriding the register
+count on the swap-prone Blackscholes kernel.  It quantifies the paper's core
+trade: the 8 KB organisation (8 registers) loses some performance to swap
+traffic, which additional physical registers buy back with silicon.
+"""
+
+from _common import publish
+
+from repro.core.config import ava_config, with_physical_registers
+from repro.experiments.rendering import render_table
+from repro.power.sram import sram_area_mm2
+from repro.sim.simulator import Simulator
+from repro.workloads.registry import get_workload
+
+PREGS = (6, 8, 12, 16, 24, 32)
+
+
+def _run(n_physical: int):
+    config = with_physical_registers(ava_config(8), n_physical)
+    workload = get_workload("blackscholes")
+    compiled = workload.compile(config)
+    sim = Simulator(config, compiled.program)
+    sim.warm_caches()
+    return sim.run().stats
+
+
+def test_ablation_preg_design_space(benchmark):
+    results = {n: _run(n) for n in PREGS}
+    benchmark.pedantic(_run, args=(8,), rounds=1, iterations=1)
+
+    base = results[8]
+    rows = []
+    for n, stats in results.items():
+        vrf_kb = n * 128 * 8 / 1024
+        rows.append([n, f"{vrf_kb:.0f}",
+                     f"{sram_area_mm2(int(vrf_kb * 1024)):.2f}",
+                     stats.cycles, f"{base.cycles / stats.cycles:.2f}",
+                     stats.swap_insts])
+    publish("ablation_preg_sweep", render_table(
+        ["P-regs", "VRF KB", "VRF mm2", "cycles", "perf vs 8-preg",
+         "swap ops"], rows))
+
+    # More registers monotonically (weakly) reduce swap traffic...
+    volumes = [results[n].swap_insts for n in PREGS]
+    assert all(a >= b - 8 for a, b in zip(volumes, volumes[1:]))
+    # ...and 32 registers eliminate it for this kernel (pressure ~20).
+    assert results[32].swap_insts == 0
+    # Table I's 8-register point stays within 2x of the swap-free bound,
+    # which is what makes the 8 KB organisation viable.
+    assert results[8].cycles <= 2.0 * results[32].cycles

@@ -1,0 +1,50 @@
+"""Ablation A3: arithmetic/memory issue-queue depth sweep.
+
+Table II fixes both queues at 32 entries.  This sweep shows the sensitivity:
+shallow queues throttle the decoupling between the memory and arithmetic
+pipelines, deep queues buy nothing once the window covers the memory
+latency.
+"""
+
+from dataclasses import replace
+
+from _common import publish
+
+from repro.core.config import ava_config
+from repro.experiments.rendering import render_table
+from repro.sim.simulator import Simulator
+from repro.vpu.params import TimingParams
+from repro.workloads.registry import get_workload
+
+DEPTHS = (2, 4, 8, 16, 32, 64)
+
+
+def _run(depth: int):
+    params = replace(TimingParams(), arith_queue_depth=depth,
+                     mem_queue_depth=depth)
+    workload = get_workload("blackscholes")
+    config = ava_config(4)
+    compiled = workload.compile(config)
+    sim = Simulator(config, compiled.program, params=params)
+    sim.warm_caches()
+    return sim.run().stats
+
+
+def test_ablation_queue_depth(benchmark):
+    results = {depth: _run(depth) for depth in DEPTHS}
+    benchmark.pedantic(_run, args=(32,), rounds=1, iterations=1)
+
+    rows = [[d, s.cycles, f"{results[32].cycles / s.cycles:.2f}",
+             s.swap_insts] for d, s in results.items()]
+    publish("ablation_queue_depth", render_table(
+        ["queue depth", "cycles", "perf vs depth-32", "swap ops"], rows))
+
+    # Finding: with destination registers assigned at issue time, the
+    # stage-2 queues hold no physical registers and the pre-issue stage is
+    # the throttle, so performance is remarkably *insensitive* to queue
+    # depth — Table II's 32 entries are comfortably past the knee.
+    for depth in DEPTHS:
+        assert abs(results[depth].cycles - results[32].cycles) \
+            <= 0.05 * results[32].cycles
+    # Going beyond 32 buys nothing.
+    assert results[64].cycles >= 0.98 * results[32].cycles

@@ -1,0 +1,47 @@
+"""Ablation A1: RAC-guided victim selection vs FIFO and round-robin.
+
+The paper's Swap Logic picks the resident VVR with the lowest positive RAC
+count.  This ablation replaces that policy with usage-blind alternatives on
+the swap-heaviest cell (Blackscholes at AVA X8) and regenerates the
+comparison, demonstrating why the RAC exists.
+"""
+
+import numpy as np
+from _common import publish
+
+from repro.core.config import ava_config
+from repro.core.swap import VictimPolicy
+from repro.experiments.rendering import render_table
+from repro.sim.simulator import Simulator
+from repro.workloads.registry import get_workload
+
+
+def _run(policy: VictimPolicy):
+    workload = get_workload("blackscholes")
+    config = ava_config(8)
+    compiled = workload.compile(config)
+    sim = Simulator(config, compiled.program, victim_policy=policy)
+    sim.warm_caches()
+    return sim.run().stats
+
+
+def test_ablation_victim_policy(benchmark):
+    stats = {policy: _run(policy) for policy in VictimPolicy}
+    benchmark.pedantic(_run, args=(VictimPolicy.RAC_MIN,),
+                       rounds=1, iterations=1)
+
+    rows = [[policy.value, s.cycles, s.swap_loads, s.swap_stores]
+            for policy, s in stats.items()]
+    publish("ablation_victim_policy", render_table(
+        ["policy", "cycles", "swap loads", "swap stores"], rows))
+
+    # Finding: with the dirty-bit (clean-eviction) optimisation enabled,
+    # the victim policies converge — most evictions are free remaps, so the
+    # RAC guidance mainly avoids pathological choices rather than winning
+    # outright.  The RAC policy must stay within 10% of the best policy.
+    best = min(s.cycles for s in stats.values())
+    assert stats[VictimPolicy.RAC_MIN].cycles <= 1.10 * best
+    # Swap volumes of all policies stay within 2x of each other (no policy
+    # triggers a thrash storm on this, the swap-heaviest cell).
+    volumes = [s.swap_insts for s in stats.values()]
+    assert max(volumes) <= 2 * max(1, min(volumes))

@@ -1,0 +1,21 @@
+"""Figure 3-a: Axpy — the ideal case (2X at X8, no spills or swaps)."""
+
+from figure3_common import regenerate_panel
+
+
+def test_figure3_axpy(benchmark):
+    panel = regenerate_panel(benchmark, "axpy")
+
+    # Paper: 2.03X at X8 for RG, AVA and NATIVE alike.
+    for name in ("NATIVE X8", "AVA X8", "RG-LMUL8"):
+        assert 1.7 <= panel.record(name).speedup <= 2.4
+    # Paper: no spill or swap operations in any configuration.
+    for record in panel.records:
+        assert record.stats.spill_insts == 0
+        assert record.stats.swap_insts == 0
+        # Paper: 75% memory / 25% arithmetic for every configuration.
+        assert abs(record.stats.memory_fraction - 0.75) < 0.01
+    # Paper: energy falls as the MVL grows (leakage amortised).
+    e1 = panel.record("NATIVE X1").energy.total
+    e8 = panel.record("AVA X8").energy.total
+    assert e8 < e1

@@ -1,0 +1,26 @@
+"""Figure 3-b: Blackscholes — high register pressure (23 logical regs)."""
+
+from figure3_common import regenerate_panel
+
+
+def test_figure3_blackscholes(benchmark):
+    panel = regenerate_panel(benchmark, "blackscholes")
+
+    # Paper: spill code from LMUL=2 onward.
+    assert panel.record("RG-LMUL2").stats.spill_insts > 0
+    assert panel.record("RG-LMUL4").stats.spill_insts > 0
+    assert panel.record("RG-LMUL8").stats.spill_insts > 0
+    # Paper: "for AVA X2 there are no swap operations ... scheduling is done
+    # using 32 physical vector registers".
+    assert panel.record("AVA X2").stats.swap_insts == 0
+    # Paper: swap operations are generated starting from AVA X4.
+    assert panel.record("AVA X4").stats.swap_insts > 0
+    # Paper: the number of swaps is slightly less than RG's spill code.
+    assert (panel.record("AVA X8").stats.swap_insts
+            < panel.record("RG-LMUL8").stats.spill_insts)
+    # Paper: AVA X8 memory operations reach 38% of vector instructions.
+    assert 0.30 <= panel.record("AVA X8").stats.memory_fraction <= 0.46
+    # Paper: AVA beats RG at every common configuration.
+    for scale in (2, 4, 8):
+        assert (panel.record(f"AVA X{scale}").speedup
+                >= panel.record(f"RG-LMUL{scale}").speedup)

@@ -1,0 +1,27 @@
+"""Figure 3-c: LavaMD2 — fixed 48-element vectors; AVA X3 is optimal."""
+
+from figure3_common import regenerate_panel
+
+
+def test_figure3_lavamd(benchmark):
+    panel = regenerate_panel(benchmark, "lavamd")
+
+    # Paper: no spill for LMUL2 (15 regs fit in 16), spill from LMUL4.
+    assert panel.record("RG-LMUL2").stats.spill_insts == 0
+    assert panel.record("RG-LMUL4").stats.spill_insts > 0
+    # Paper: AVA X3 executes the 48 elements with one instruction and has
+    # 21 physical registers available — no swaps, best AVA configuration.
+    x3 = panel.record("AVA X3")
+    assert x3.stats.swap_insts == 0
+    ava_records = [r for r in panel.records
+                   if r.config.name.startswith("AVA")]
+    assert max(ava_records, key=lambda r: r.speedup) is x3
+    # Paper: 1.67X for AVA X3, equal to the equivalent NATIVE.
+    assert 1.4 <= x3.speedup <= 1.9
+    assert abs(x3.speedup - panel.record("NATIVE X3").speedup) < 0.02
+    # Paper: RG-LMUL8 collapses (0.48X) because spill code runs at VL=128
+    # while arithmetic runs at VL=48.
+    assert panel.record("RG-LMUL8").speedup < 0.7
+    assert panel.record("AVA X8").speedup > panel.record("RG-LMUL8").speedup
+    # Paper: RG-LMUL8's memory operations reach ~43% of vector instructions.
+    assert panel.record("RG-LMUL8").stats.memory_fraction > 0.30

@@ -1,0 +1,23 @@
+"""Figure 3-d: ParticleFilter — negligible spill/swap impact."""
+
+from figure3_common import regenerate_panel
+
+
+def test_figure3_particlefilter(benchmark):
+    panel = regenerate_panel(benchmark, "particlefilter")
+
+    # Paper: 13 logical registers -> no spill/swap for RG-LMUL2, AVA X2/X3.
+    assert panel.record("RG-LMUL2").stats.spill_insts == 0
+    assert panel.record("AVA X2").stats.swap_insts == 0
+    assert panel.record("AVA X3").stats.swap_insts == 0
+    # Paper: spill/swap operations appear at RG-LMUL4+ and AVA X4/X8...
+    assert panel.record("RG-LMUL4").stats.spill_insts > 0
+    assert panel.record("AVA X8").stats.swap_insts > 0
+    # ... but AVA X8 still achieves performance similar to NATIVE X8
+    # (the increase in memory operations is negligible, §V).
+    ratio = (panel.record("AVA X8").speedup
+             / panel.record("NATIVE X8").speedup)
+    assert ratio > 0.85
+    # AVA beats RG at the large configurations.
+    assert (panel.record("AVA X8").speedup
+            >= panel.record("RG-LMUL8").speedup)

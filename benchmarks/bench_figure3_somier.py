@@ -1,0 +1,22 @@
+"""Figure 3-e: Somier — the memory-bound application."""
+
+from figure3_common import regenerate_panel
+
+
+def test_figure3_somier(benchmark):
+    panel = regenerate_panel(benchmark, "somier")
+
+    # Paper: ~46% of vector instructions are memory operations.
+    base = panel.record("NATIVE X1").stats
+    assert 0.38 <= base.memory_fraction <= 0.52
+    # Paper: spill/swap only for RG-LMUL8 and AVA X8.
+    assert panel.record("RG-LMUL4").stats.spill_insts == 0
+    assert panel.record("AVA X4").stats.swap_insts == 0
+    assert panel.record("RG-LMUL8").stats.spill_insts > 0
+    # Paper: AVA X8 sees only few swaps and a small degradation.
+    x8 = panel.record("AVA X8")
+    assert x8.stats.swap_insts < 32
+    assert x8.speedup > 0.9 * panel.record("NATIVE X8").speedup
+    # Paper: L2 leakage dominates Somier's energy.
+    e = panel.record("NATIVE X1").energy
+    assert e.l2_leakage > 0.4 * e.total

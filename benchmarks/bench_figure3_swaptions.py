@@ -1,0 +1,22 @@
+"""Figure 3-f: Swaptions — widest register footprint (24 logical regs)."""
+
+from figure3_common import regenerate_panel
+
+
+def test_figure3_swaptions(benchmark):
+    panel = regenerate_panel(benchmark, "swaptions")
+
+    # Paper: spill code for RG-LMUL2, 4 and 8.
+    for lmul in (2, 4, 8):
+        assert panel.record(f"RG-LMUL{lmul}").stats.spill_insts > 0
+    # Paper: RG's memory share grows from ~12% to ~34% at LMUL8.
+    assert panel.record("NATIVE X1").stats.memory_fraction < 0.2
+    assert panel.record("RG-LMUL8").stats.memory_fraction > 0.3
+    # Paper: AVA X8 (1.78X) stays ahead of RG-LMUL8 but behind NATIVE X8
+    # (2.15X).
+    ava8 = panel.record("AVA X8").speedup
+    assert panel.record("RG-LMUL8").speedup < ava8
+    assert ava8 < panel.record("NATIVE X8").speedup
+    # AVA swap count is comparable to (not wildly above) RG spill code.
+    assert (panel.record("AVA X8").stats.swap_insts
+            <= 1.2 * panel.record("RG-LMUL8").stats.spill_insts)

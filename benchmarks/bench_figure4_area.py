@@ -1,0 +1,24 @@
+"""Figure 4: McPAT areas and performance per mm²."""
+
+from _common import publish
+
+from repro.experiments.figure4 import build_figure4
+
+
+def test_figure4_area_and_perf_density(benchmark):
+    fig4 = benchmark.pedantic(build_figure4, rounds=1, iterations=1)
+    publish("figure4", fig4.render())
+
+    # Paper Fig. 4 anchors: VRF 0.18 -> 1.41 mm², FPUs 0.94 mm².
+    assert abs(fig4.native_areas[0].vrf - 0.18) < 0.01
+    assert abs(fig4.native_areas[-1].vrf - 1.41) < 0.02
+    assert abs(fig4.native_areas[0].fpus - 0.94) < 0.01
+    # Paper: AVA structures add 0.55% to the VPU.
+    assert 0.004 <= fig4.ava_overhead_fraction <= 0.007
+    # Paper: 53% VPU area reduction vs NATIVE X8.
+    assert 0.45 <= fig4.vpu_area_reduction <= 0.60
+    # Paper: AVA area is constant (1.126 mm²) across reconfigurations.
+    assert abs(fig4.ava_area.vpu - 1.126) < 0.01
+    # Paper: AVA's perf/mm² beats NATIVE's at every scale above X1.
+    for native, ava in zip(fig4.native_perf_mm2[1:], fig4.ava_perf_mm2[1:]):
+        assert ava > native

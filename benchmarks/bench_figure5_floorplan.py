@@ -1,0 +1,25 @@
+"""Figure 5: the NATIVE X8 and AVA floorplans."""
+
+from _common import publish
+
+from repro.experiments.figure5 import build_figure5, render_figure5
+
+
+def test_figure5_floorplans(benchmark):
+    native, ava = benchmark(build_figure5)
+    publish("figure5", render_figure5())
+
+    # The AVA die is roughly half the NATIVE X8 die (paper: 50.7%).
+    assert 0.40 <= ava.die_area_mm2 / native.die_area_mm2 <= 0.60
+    # Both dies place eight lanes, the VMU/ROB/IQ strip and corner macros.
+    for plan in (native, ava):
+        labels = {b.name for b in plan.blocks}
+        assert {"lane 1", "lane 8", "VMU", "ROB", "IQ"} <= labels
+        assert sum(1 for b in plan.blocks
+                   if b.name.startswith("VRF macro")) == 4
+    # Only the AVA die carries the AVA structures block (M).
+    assert any(b.name == "AVA structures" for b in ava.blocks)
+    assert not any(b.name == "AVA structures" for b in native.blocks)
+    # §VII's mechanism: the big NATIVE macros stretch macro-to-lane wires.
+    assert (native.average_macro_lane_wire_um()
+            > ava.average_macro_lane_wire_um())

@@ -1,0 +1,18 @@
+"""All headline claims of the paper, checked and archived in one run."""
+
+from _common import publish
+
+from repro.experiments.figure3 import build_panel
+from repro.experiments.headline import check_headline_claims, render_claims
+
+
+def test_headline_claims(benchmark):
+    panels = {name: build_panel(name)
+              for name in ("axpy", "blackscholes", "lavamd")}
+    claims = benchmark.pedantic(check_headline_claims, args=(panels,),
+                                rounds=1, iterations=1)
+    publish("headline_claims", render_claims(claims))
+    held = sum(c.holds for c in claims)
+    # Every headline claim should hold in this reproduction.
+    failed = [c.claim for c in claims if not c.holds]
+    assert held == len(claims), f"claims failed: {failed}"

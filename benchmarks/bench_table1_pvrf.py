@@ -1,0 +1,27 @@
+"""Table I: P-VRF configurations — physical registers vs MVL."""
+
+from _common import publish
+
+from repro.core.config import pvrf_registers, table1_rows
+from repro.experiments.tables import render_table1
+
+#: The paper's Table I, verbatim.
+PAPER_TABLE1 = {16: 64, 32: 32, 48: 21, 64: 16, 80: 12, 96: 10, 112: 9,
+                128: 8}
+
+
+def test_table1_pvrf_configurations(benchmark):
+    rows = benchmark(table1_rows)
+    measured = {mvl: pregs for pregs, mvl in rows}
+    assert measured == PAPER_TABLE1
+    publish("table1", render_table1())
+
+
+def test_table1_is_pure_capacity_division(benchmark):
+    """The row values all derive from the 8 KB capacity: floor(1024/MVL)."""
+    def check():
+        for mvl, pregs in PAPER_TABLE1.items():
+            assert pvrf_registers(mvl) == min(1024 // mvl, 64) == pregs
+        return True
+
+    assert benchmark(check)

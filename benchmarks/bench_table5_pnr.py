@@ -1,0 +1,37 @@
+"""Table V: post-place-and-route results (the anchored PnR surrogate)."""
+
+from _common import publish
+
+from repro.core.config import ava_config, native_config
+from repro.experiments.tables import render_table5, table5_results
+from repro.power.physical import PhysicalDesignModel
+
+
+def test_table5_post_pnr(benchmark):
+    results = benchmark(table5_results)
+    publish("table5", render_table5())
+
+    by_name = {r.config_name: r for r in results}
+    native = by_name["NATIVE X8"]
+    ava = by_name["AVA X8"]
+    # Anchors (Table V): NATIVE X8 -0.244ns / 2290mW / 3.90mm² / 61.0%.
+    assert abs(native.wns_ns - (-0.244)) < 0.01
+    assert abs(native.power_mw - 2290) < 25
+    assert abs(native.area_mm2 - 3.90) < 0.05
+    assert abs(native.density_pct - 61.0) < 0.3
+    # Anchors: AVA +0.119ns / 1732mW / 1.98mm² / 61.8%.
+    assert abs(ava.wns_ns - 0.119) < 0.01
+    assert abs(ava.power_mw - 1732) < 25
+    assert abs(ava.area_mm2 - 1.98) < 0.05
+    # Only AVA meets the 1 GHz target.
+    assert ava.meets_timing and not native.meets_timing
+    # AVA structures: negligible 0.21% of the chip.
+    assert ava.ava_structs_area_mm2 / ava.area_mm2 < 0.005
+
+
+def test_table5_area_reduction(benchmark):
+    model = PhysicalDesignModel()
+    reduction = benchmark(model.area_reduction_vs, ava_config(8),
+                          native_config(8))
+    # Paper: "the total chip area is reduced by 50.7%".
+    assert 0.45 <= reduction <= 0.55

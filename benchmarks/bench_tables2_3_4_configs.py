@@ -1,0 +1,32 @@
+"""Tables II, III and IV: the configuration matrix and application list."""
+
+from _common import publish
+
+from repro.core.config import ava_config, native_config, rg_config
+from repro.experiments.tables import render_table2, render_table3, render_table4
+
+
+def test_table2_native_configurations(benchmark):
+    text = benchmark(render_table2)
+    native8 = native_config(8)
+    assert native8.vrf_bytes == 64 * 1024  # the costly 64 KB VRF
+    assert native_config(1).vrf_bytes == 8 * 1024
+    publish("table2", text)
+
+
+def test_table3_equivalence(benchmark):
+    text = benchmark(render_table3)
+    # AVA preserves all 32 logical registers; RG divides them by LMUL.
+    assert ava_config(8).n_logical == 32
+    assert rg_config(8).n_logical == 4
+    assert ava_config(8).n_physical == 8
+    assert rg_config(8).n_physical == 8
+    publish("table3", text)
+
+
+def test_table4_applications(benchmark):
+    text = benchmark(render_table4)
+    for name in ("axpy", "blackscholes", "lavamd", "particlefilter",
+                 "somier", "swaptions"):
+        assert name in text
+    publish("table4", text)

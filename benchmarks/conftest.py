@@ -1,0 +1,6 @@
+"""Benchmark configuration: make the `_common` helper importable."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

@@ -1,0 +1,15 @@
+"""Shared Figure-3 panel regeneration for the six per-application benches."""
+
+from __future__ import annotations
+
+from _common import publish
+
+from repro.experiments.figure3 import Figure3Panel, build_panel
+
+
+def regenerate_panel(benchmark, workload: str) -> Figure3Panel:
+    """Time one full panel regeneration (all 14 bars) and publish it."""
+    panel = benchmark.pedantic(build_panel, args=(workload,),
+                               rounds=1, iterations=1)
+    publish(f"figure3_{workload}", panel.render())
+    return panel

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Adaptive MVL selection: let AVA pick its own best configuration.
+
+The paper's LavaMD2 discussion (§V, §VI) highlights that AVA can select the
+*optimal* MVL per application: LavaMD2's fixed 48-element vectors make
+AVA X3 the sweet spot — larger MVLs waste register width and burn energy on
+MVL-wide swap code, smaller ones need more instructions.
+
+This example sweeps every AVA reconfiguration for each application,
+reports the chosen configuration, and shows the performance and energy
+consequences — the "adaptable" in Adaptable Vector Architecture.
+
+Run:  python examples/adaptive_mvl_selection.py
+"""
+
+from repro import ava_config, Simulator
+from repro.core.config import SCALE_FACTORS
+from repro.experiments.rendering import render_table
+from repro.power.mcpat import McPatModel
+from repro.workloads import all_workloads
+
+
+def main() -> None:
+    mcpat = McPatModel()
+    rows = []
+    for workload in all_workloads():
+        best = None
+        base_cycles = None
+        sweep = []
+        for scale in SCALE_FACTORS:
+            config = ava_config(scale)
+            compiled = workload.compile(config)
+            sim = Simulator(config, compiled.program)
+            sim.warm_caches()
+            stats = sim.run().stats
+            energy = mcpat.energy(config, stats).total
+            if base_cycles is None:
+                base_cycles = stats.cycles
+            sweep.append((config, stats, energy))
+            if best is None or stats.cycles < best[1].cycles:
+                best = (config, stats, energy)
+
+        assert best is not None and base_cycles is not None
+        config, stats, energy = best
+        rows.append([
+            workload.name,
+            f"AVL={workload.effective_vl(config.mvl)}",
+            config.name,
+            f"{base_cycles / stats.cycles:.2f}x",
+            stats.swap_insts,
+            f"{sweep[0][2] / energy:.2f}x" if energy else "-",
+        ])
+
+    print(render_table(
+        ["application", "vector length", "best AVA config",
+         "speedup vs AVA X1", "swaps at best", "energy saving"],
+        rows))
+    print("\nLavaMD2 settles on AVA X3 (MVL=48 matches its box size), the "
+          "long-vector\napplications push to X8, and nothing has to be "
+          "re-synthesised to do it —\nthe same 8 KB register file serves "
+          "every point.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Bring your own kernel: a vectorised polynomial evaluator on AVA.
+
+Shows the full workflow for a kernel the suite does not ship: a degree-7
+Horner polynomial evaluated over a large input array, with the coefficient
+registers hoisted out of the loop the way a hand-vectorised RISC-V kernel
+would.  The example then demonstrates how register pressure interacts with
+AVA's reconfiguration by printing the swap traffic across MVL choices.
+
+Run:  python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro import (
+    KernelBuilder,
+    Program,
+    Simulator,
+    StripSchedule,
+    allocate,
+    ava_config,
+    unroll_kernel,
+)
+from repro.compiler.trace import body_pressure
+from repro.experiments.rendering import render_table
+
+COEFFS = [0.5, -1.25, 0.75, 2.0, -0.3125, 0.0625, 1.5, -0.875]
+N = 4096
+
+
+def build_body():
+    kb = KernelBuilder()
+    consts = [kb.const(c) for c in COEFFS]
+    x = kb.load("x")
+    acc = consts[0]
+    for c in consts[1:]:
+        acc = kb.fmadd(acc, x, kb.copy(c))  # acc = acc*x + c
+    kb.store(acc, "y")
+    return kb.build()
+
+
+def reference(x: np.ndarray) -> np.ndarray:
+    acc = np.full_like(x, COEFFS[0])
+    for c in COEFFS[1:]:
+        acc = acc * x + c
+    return acc
+
+
+def main() -> None:
+    body = build_body()
+    print(f"kernel: degree-{len(COEFFS) - 1} Horner polynomial, "
+          f"live register pressure = {body_pressure(body)}")
+
+    rng = np.random.default_rng(11)
+    x = rng.uniform(-1.0, 1.0, N)
+    expected = reference(x)
+
+    rows = []
+    base_cycles = None
+    for scale in (1, 2, 4, 8):
+        config = ava_config(scale)
+        schedule = StripSchedule.for_elements(N, config.mvl)
+        trace = unroll_kernel(body, schedule, config.mvl)
+        allocation = allocate(trace, config.n_logical, config.mvl)
+        program = Program(name=f"poly@{config.name}",
+                          insts=allocation.insts,
+                          buffers={"x": N, "y": N},
+                          spill_slots=allocation.spill_slots,
+                          mvl=config.mvl)
+        sim = Simulator(config, program, functional=True)
+        sim.set_data("x", x)
+        sim.warm_caches()
+        result = sim.run()
+        assert np.allclose(result.buffer("y"), expected), "wrong results!"
+        if base_cycles is None:
+            base_cycles = result.cycles
+        stats = result.stats
+        rows.append([config.name, config.n_physical, result.cycles,
+                     f"{base_cycles / result.cycles:.2f}x",
+                     stats.swap_insts])
+
+    print(render_table(
+        ["config", "physical regs", "cycles", "speedup", "swap ops"], rows))
+    print("\nAll configurations produce bit-identical results: the "
+          "two-level VRF and\nthe swap mechanism are invisible to the "
+          "program.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Energy and silicon report: the §VI/§VII story in one script.
+
+Generates, for the whole suite:
+
+* the McPAT-style component areas of every configuration and AVA's
+  constant 1.126 mm² footprint,
+* a per-application energy comparison of the baseline vs AVA's best
+  reconfiguration,
+* the post-PnR summary (Table V) with the timing verdict.
+
+Run:  python examples/energy_area_report.py
+"""
+
+from repro import ava_config, native_config, Simulator
+from repro.core.config import SCALE_FACTORS
+from repro.experiments.rendering import render_table
+from repro.power.mcpat import McPatModel
+from repro.power.physical import PhysicalDesignModel
+from repro.workloads import all_workloads
+
+
+def main() -> None:
+    mcpat = McPatModel()
+
+    print("== silicon (Fig. 4) ==")
+    rows = []
+    for scale in SCALE_FACTORS:
+        report = mcpat.area(native_config(scale))
+        rows.append([report.config_name, f"{report.vrf:.2f}",
+                     f"{report.vpu:.3f}", f"{report.total:.2f}"])
+    ava_report = mcpat.area(ava_config(8))
+    rows.append([f"AVA (any MVL)", f"{ava_report.vrf:.2f}",
+                 f"{ava_report.vpu:.3f}", f"{ava_report.total:.2f}"])
+    print(render_table(["config", "VRF mm2", "VPU mm2", "total mm2"], rows))
+
+    print("\n== energy: baseline vs best AVA reconfiguration ==")
+    rows = []
+    for workload in all_workloads():
+        runs = {}
+        for scale in SCALE_FACTORS:
+            config = ava_config(scale)
+            sim = Simulator(config, workload.compile(config).program)
+            sim.warm_caches()
+            stats = sim.run().stats
+            runs[scale] = (stats, mcpat.energy(config, stats))
+        base_stats, base_energy = runs[1]
+        best_scale = min(runs, key=lambda s: runs[s][0].cycles)
+        best_stats, best_energy = runs[best_scale]
+        rows.append([
+            workload.name, f"X{best_scale}",
+            f"{base_stats.cycles / best_stats.cycles:.2f}x",
+            f"{base_energy.total:,.0f}",
+            f"{best_energy.total:,.0f}",
+            f"{1 - best_energy.total / base_energy.total:+.0%}",
+        ])
+    print(render_table(
+        ["application", "best", "speedup", "base nJ", "best nJ",
+         "energy delta"], rows))
+
+    print("\n== physical design (Table V) ==")
+    pnr = PhysicalDesignModel()
+    rows = []
+    for config in (native_config(8), ava_config(8)):
+        r = pnr.evaluate(config)
+        rows.append([r.config_name, f"{r.wns_ns:+.3f}",
+                     "meets 1 GHz" if r.meets_timing else "FAILS timing",
+                     f"{r.power_mw:.0f}", f"{r.area_mm2:.2f}"])
+    print(render_table(
+        ["config", "WNS ns", "timing", "power mW", "area mm2"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Quickstart: build a vector kernel, run it on three machines, check it.
+
+The 60-second tour of the public API:
+
+1. write an axpy kernel with :class:`repro.KernelBuilder`,
+2. strip-mine + register-allocate it for a machine configuration,
+3. simulate it functionally on the baseline, on a native long-vector
+   machine, and on AVA reconfigured for long vectors,
+4. verify the results against numpy and compare the cycle counts.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    KernelBuilder,
+    Program,
+    Simulator,
+    StripSchedule,
+    allocate,
+    ava_config,
+    native_config,
+    unroll_kernel,
+)
+
+N = 4096
+ALPHA = 3.0
+
+
+def build_axpy_program(config):
+    """Compile y = alpha*x + y for one machine configuration."""
+    kb = KernelBuilder()
+    x = kb.load("x")
+    y = kb.load("y")
+    kb.store(kb.fmadd_vf(ALPHA, x, y), "y")
+    body = kb.build()
+
+    schedule = StripSchedule.for_elements(N, config.mvl)
+    trace = unroll_kernel(body, schedule, config.mvl)
+    allocation = allocate(trace, config.n_logical, config.mvl)
+    return Program(
+        name=f"axpy@{config.name}",
+        insts=allocation.insts,
+        buffers={"x": N, "y": N},
+        spill_slots=allocation.spill_slots,
+        mvl=config.mvl,
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    x = rng.standard_normal(N)
+    y = rng.standard_normal(N)
+    expected = ALPHA * x + y
+
+    baseline_cycles = None
+    for config in (native_config(1), native_config(8), ava_config(8)):
+        program = build_axpy_program(config)
+        sim = Simulator(config, program, functional=True)
+        sim.set_data("x", x)
+        sim.set_data("y", y)
+        sim.warm_caches()
+        result = sim.run()
+
+        correct = np.allclose(result.buffer("y"), expected)
+        if baseline_cycles is None:
+            baseline_cycles = result.cycles
+        speedup = baseline_cycles / result.cycles
+        print(f"{config.describe()}")
+        print(f"  -> {result.cycles} cycles, speedup {speedup:.2f}x, "
+              f"results {'match numpy' if correct else 'WRONG'}")
+        assert correct
+
+    print("\nAVA reconfigured to MVL=128 matches the native long-vector "
+          "machine\nwhile physically owning only the 8 KB register file "
+          "(the paper's headline).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Register Grouping vs AVA on a register-hungry kernel (§II vs §III).
+
+RISC-V Register Grouping (LMUL) buys longer vectors by *dividing the
+architectural registers*: at LMUL=8 the compiler has 4 registers and spills
+to memory with MVL-wide load/stores.  AVA keeps all 32 architectural
+registers and moves data between its two-level VRF in hardware instead.
+
+This example compiles the Blackscholes kernel (23 live registers) for the
+equivalent RG and AVA configurations and compares the resulting memory
+traffic and performance — reproducing the paper's §V argument that "AVA
+performs the scheduling based on the available physical registers, which
+are always double compared to LMUL".
+
+Run:  python examples/rg_vs_ava_spills.py
+"""
+
+from repro import ava_config, rg_config, native_config, Simulator
+from repro.experiments.rendering import render_table
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    workload = get_workload("blackscholes")
+    print(f"workload: {workload.describe()}")
+    baseline = None
+
+    rows = []
+    for config in (native_config(1), rg_config(2), ava_config(2),
+                   rg_config(4), ava_config(4), rg_config(8), ava_config(8)):
+        compiled = workload.compile(config)
+        sim = Simulator(config, compiled.program)
+        sim.warm_caches()
+        stats = sim.run().stats
+        if baseline is None:
+            baseline = stats.cycles
+        rows.append([
+            config.name,
+            f"{compiled.config.n_logical} arch / "
+            f"{compiled.config.n_physical} phys",
+            stats.spill_loads + stats.spill_stores,
+            stats.swap_loads + stats.swap_stores,
+            f"{stats.memory_fraction:.0%}",
+            f"{baseline / stats.cycles:.2f}x",
+        ])
+
+    print(render_table(
+        ["config", "registers", "compiler spills", "hardware swaps",
+         "memory %", "speedup"], rows))
+    print("\nAVA schedules against twice the registers RG exposes, so its "
+          "hardware swaps\nstay at or below RG's compiler spill code — and "
+          "the 32 logical registers are\nnever sacrificed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro — a behavioural reproduction of AVA, the Adaptable Vector
+Architecture from "Adaptable Register File Organization for Vector
+Processors" (HPCA 2022).
+
+Public API quick reference::
+
+    from repro import (
+        KernelBuilder, StripSchedule, unroll_kernel, allocate,   # build code
+        ava_config, native_config, rg_config,                     # machines
+        Simulator,                                                # run
+    )
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.core.config import (
+    MachineConfig,
+    MachineMode,
+    ava_config,
+    baseline_config,
+    native_config,
+    pvrf_registers,
+    rg_config,
+    table1_rows,
+)
+from repro.compiler import AllocationResult, StripSchedule, allocate, unroll_kernel
+from repro.isa import Instruction, KernelBuilder, Program
+from repro.sim import SimResult, Simulator, SimStats
+from repro.vpu import TimingParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineConfig",
+    "MachineMode",
+    "ava_config",
+    "baseline_config",
+    "native_config",
+    "rg_config",
+    "pvrf_registers",
+    "table1_rows",
+    "AllocationResult",
+    "StripSchedule",
+    "allocate",
+    "unroll_kernel",
+    "Instruction",
+    "KernelBuilder",
+    "Program",
+    "SimResult",
+    "Simulator",
+    "SimStats",
+    "TimingParams",
+    "__version__",
+]

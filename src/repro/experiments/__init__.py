@@ -1,0 +1,34 @@
+"""Experiment harness: one regenerator per table and figure of the paper.
+
+* :mod:`repro.experiments.configs` — Tables II/III configuration matrix,
+  Table IV application list;
+* :mod:`repro.experiments.runner` — runs (workload × configuration) cells
+  and decorates statistics with speedups and energy reports;
+* :mod:`repro.experiments.figure3` — the six per-application panels
+  (memory-instruction breakdown, instruction mix, execution time/speedup,
+  energy);
+* :mod:`repro.experiments.figure4` — component areas + performance/mm²;
+* :mod:`repro.experiments.figure5` — the two floorplans;
+* :mod:`repro.experiments.tables` — Tables I and V;
+* :mod:`repro.experiments.headline` — the paper's headline claims checked
+  in one place (used by EXPERIMENTS.md and the integration tests);
+* :mod:`repro.experiments.rendering` — ASCII tables and bar charts.
+"""
+
+from repro.experiments.configs import (
+    figure3_series,
+    native_series,
+    ava_series,
+    rg_series,
+)
+from repro.experiments.runner import RunRecord, run_cell, run_series
+
+__all__ = [
+    "figure3_series",
+    "native_series",
+    "ava_series",
+    "rg_series",
+    "RunRecord",
+    "run_cell",
+    "run_series",
+]

@@ -1,0 +1,66 @@
+"""The Tables II/III configuration matrix, in the paper's chart order."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.config import (
+    LMUL_VALUES,
+    SCALE_FACTORS,
+    MachineConfig,
+    ava_config,
+    native_config,
+    rg_config,
+)
+
+
+def native_series() -> List[MachineConfig]:
+    """NATIVE X1..X8 (Table II's five columns)."""
+    return [native_config(s) for s in SCALE_FACTORS]
+
+
+def ava_series() -> List[MachineConfig]:
+    """AVA X1..X8 (Table III's first row)."""
+    return [ava_config(s) for s in SCALE_FACTORS]
+
+
+def rg_series() -> List[MachineConfig]:
+    """RG-LMUL1..8 (Table III's second row; no LMUL maps to X3)."""
+    return [rg_config(l) for l in LMUL_VALUES]
+
+
+def figure3_series() -> List[MachineConfig]:
+    """All bars of one Fig. 3 panel, grouped by scale as in the paper.
+
+    Within each scale group the order is NATIVE, RG (when an LMUL exists —
+    X3 has no RG equivalent, Table III marks it NA), then AVA.
+    """
+    series: List[MachineConfig] = []
+    for scale in SCALE_FACTORS:
+        series.append(native_config(scale))
+        if scale in LMUL_VALUES:
+            series.append(rg_config(scale))
+        series.append(ava_config(scale))
+    return series
+
+
+def equivalence_rows() -> List[tuple[str, str, str]]:
+    """Table III: NATIVE / AVA / RG equivalence by column."""
+    rows = []
+    for scale in SCALE_FACTORS:
+        ava = ava_config(scale)
+        rg = f"RG-LMUL{scale}" if scale in LMUL_VALUES else "NA"
+        rows.append((f"NATIVE X{scale}",
+                     f"{ava.name} ({ava.n_physical}-PREG)", rg))
+    return rows
+
+
+def table2_rows() -> List[tuple[str, str]]:
+    """Table II's per-configuration parameters."""
+    rows = []
+    for cfg in native_series():
+        rows.append((cfg.name,
+                     f"MVL {cfg.vector_bits}-bit ({cfg.mvl} elem x 64-bit), "
+                     f"{cfg.n_physical} renamed regs, "
+                     f"4R/2W VRF: {cfg.vrf_bytes // 1024}KB"))
+    return rows

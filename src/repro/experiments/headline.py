@@ -1,0 +1,129 @@
+"""The paper's headline claims, checked in one place.
+
+Produces a structured paper-vs-measured record used by EXPERIMENTS.md, the
+`bench_headline_claims` benchmark and the integration tests:
+
+1. axpy reaches ~2X by reconfiguring AVA X1 -> X8 (abstract / §V);
+2. AVA matches the equivalent NATIVE configurations on axpy;
+3. AVA adds ~0.55% area to the VPU and saves ~53% VPU area vs NATIVE X8
+   (§VI);
+4. AVA X8 beats RG-LMUL8 on the spill-prone applications (§V);
+5. LavaMD2's best AVA configuration is X3 (fixed 48-element vectors, §V);
+6. axpy saves ~37% energy when reconfigured for long vectors (§VI);
+7. the AVA chip is ~50% smaller after PnR and meets 1 GHz timing while
+   NATIVE X8 does not (§VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.config import ava_config, native_config
+from repro.experiments.figure3 import Figure3Panel, build_panel
+from repro.experiments.rendering import render_table
+from repro.power.physical import PhysicalDesignModel
+
+
+@dataclass
+class Claim:
+    """One paper-vs-measured data point."""
+
+    claim: str
+    paper: str
+    measured: str
+    holds: bool
+
+
+def check_headline_claims(
+        panels: Optional[dict[str, Figure3Panel]] = None) -> List[Claim]:
+    """Evaluate every headline claim; reuses panels if provided."""
+    if panels is None:
+        panels = {name: build_panel(name)
+                  for name in ("axpy", "blackscholes", "lavamd")}
+    claims: List[Claim] = []
+
+    axpy = panels["axpy"]
+    ava_x8 = axpy.record("AVA X8").speedup
+    claims.append(Claim(
+        "axpy speedup AVA X8 vs baseline", "2.03x", f"{ava_x8:.2f}x",
+        1.7 <= ava_x8 <= 2.4))
+    native_x8 = axpy.record("NATIVE X8").speedup
+    claims.append(Claim(
+        "axpy: AVA X8 matches NATIVE X8", "equal",
+        f"{ava_x8 / native_x8:.3f} of native", abs(ava_x8 / native_x8 - 1) < 0.02))
+    swaps = axpy.record("AVA X8").stats.swap_insts
+    claims.append(Claim(
+        "axpy generates no swap operations", "0", str(swaps), swaps == 0))
+
+    # Area claims come from the anchored model; no simulation needed.
+    from repro.power.mcpat import McPatModel
+    mcpat = McPatModel()
+    ava_area = mcpat.area(ava_config(8))
+    native_area = mcpat.area(native_config(8))
+    overhead = ava_area.ava_structs / ava_area.vpu
+    claims.append(Claim(
+        "AVA structures area overhead", "0.55% of VPU", f"{overhead:.2%}",
+        0.004 <= overhead <= 0.007))
+    reduction = 1.0 - ava_area.vpu / native_area.vpu
+    claims.append(Claim(
+        "VPU area reduction vs NATIVE X8", "53%", f"{reduction:.1%}",
+        0.45 <= reduction <= 0.60))
+
+    bs = panels["blackscholes"]
+    ava_vs_rg = (bs.record("AVA X8").speedup, bs.record("RG-LMUL8").speedup)
+    claims.append(Claim(
+        "blackscholes: AVA X8 beats RG-LMUL8",
+        "1.64x vs 1.49x", f"{ava_vs_rg[0]:.2f}x vs {ava_vs_rg[1]:.2f}x",
+        ava_vs_rg[0] > ava_vs_rg[1]))
+    ava_x2_swaps = bs.record("AVA X2").stats.swap_insts
+    claims.append(Claim(
+        "blackscholes: AVA X2 is swap-free (32 P-regs)", "0 swaps",
+        str(ava_x2_swaps), ava_x2_swaps == 0))
+    mem_frac = bs.record("AVA X8").stats.memory_fraction
+    claims.append(Claim(
+        "blackscholes AVA X8 memory fraction", "38%", f"{mem_frac:.0%}",
+        0.30 <= mem_frac <= 0.46))
+
+    lavamd = panels["lavamd"]
+    ava_records = [r for r in lavamd.records
+                   if r.config.name.startswith("AVA")]
+    best = max(ava_records, key=lambda r: r.speedup)
+    claims.append(Claim(
+        "lavamd: best AVA configuration", "AVA X3 (1.67x)",
+        f"{best.config.name} ({best.speedup:.2f}x)",
+        best.config.name == "AVA X3"))
+    rg8 = lavamd.record("RG-LMUL8").speedup
+    claims.append(Claim(
+        "lavamd: RG-LMUL8 collapses below baseline", "0.48x",
+        f"{rg8:.2f}x", rg8 < 0.7))
+
+    # Energy: axpy saving when reconfigured to X8.
+    e1 = axpy.record("NATIVE X1").energy.total
+    e8 = axpy.record("AVA X8").energy.total
+    saving = 1.0 - e8 / e1
+    claims.append(Claim(
+        "axpy energy saving at AVA X8", "37%", f"{saving:.0%}",
+        0.25 <= saving <= 0.50))
+
+    pnr = PhysicalDesignModel()
+    native_pnr = pnr.evaluate(native_config(8))
+    ava_pnr = pnr.evaluate(ava_config(8))
+    claims.append(Claim(
+        "PnR: AVA meets 1 GHz, NATIVE X8 does not",
+        "+0.119ns vs -0.244ns",
+        f"{ava_pnr.wns_ns:+.3f}ns vs {native_pnr.wns_ns:+.3f}ns",
+        ava_pnr.meets_timing and not native_pnr.meets_timing))
+    chip_red = pnr.area_reduction_vs(ava_config(8), native_config(8))
+    claims.append(Claim(
+        "PnR: chip area reduction", "50.7%", f"{chip_red:.1%}",
+        0.45 <= chip_red <= 0.55))
+    return claims
+
+
+def render_claims(claims: List[Claim]) -> str:
+    rows = [[c.claim, c.paper, c.measured, "yes" if c.holds else "NO"]
+            for c in claims]
+    held = sum(c.holds for c in claims)
+    return (render_table(["claim", "paper", "measured", "holds"], rows)
+            + f"\n{held}/{len(claims)} headline claims hold")

@@ -1,0 +1,94 @@
+"""Run (workload × configuration) cells and decorate the results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import MachineConfig
+from repro.power.mcpat import EnergyReport, McPatModel
+from repro.sim.simulator import Simulator
+from repro.sim.stats import SimStats
+from repro.vpu.params import TimingParams
+from repro.workloads.base import Workload
+
+#: Seed used by every experiment so figures are reproducible.
+DATA_SEED = 42
+
+
+@dataclass
+class RunRecord:
+    """One cell of a Fig. 3 panel."""
+
+    config: MachineConfig
+    stats: SimStats
+    energy: EnergyReport
+    correct: Optional[bool] = None
+    speedup: float = field(default=1.0)
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+
+def run_cell(workload: Workload, config: MachineConfig,
+             params: Optional[TimingParams] = None,
+             functional: bool = False,
+             warm: bool = True,
+             check: bool = False,
+             mcpat: Optional[McPatModel] = None) -> RunRecord:
+    """Simulate one workload on one configuration.
+
+    ``check=True`` forces functional mode and verifies the output buffers
+    against the workload's numpy oracle.
+    """
+    functional = functional or check
+    compiled = workload.compile(config)
+    sim = Simulator(config, compiled.program, params=params,
+                    functional=functional)
+    rng = np.random.default_rng(DATA_SEED)
+    data = workload.init_data(rng)
+    if functional:
+        for name, values in data.items():
+            sim.set_data(name, values)
+    if warm:
+        sim.warm_caches()
+    result = sim.run()
+
+    correct: Optional[bool] = None
+    if check:
+        reference = workload.reference(data)
+        correct = all(
+            bool(np.allclose(result.buffer(name), expected,
+                             rtol=1e-9, atol=1e-12))
+            for name, expected in reference.items())
+
+    model = mcpat or McPatModel()
+    energy = model.energy(config, result.stats)
+    return RunRecord(config=config, stats=result.stats, energy=energy,
+                     correct=correct)
+
+
+def run_series(workload: Workload, configs: List[MachineConfig],
+               baseline_index: int = 0,
+               params: Optional[TimingParams] = None,
+               check: bool = False) -> List[RunRecord]:
+    """Run a configuration series and fill in speedups vs the baseline."""
+    mcpat = McPatModel()
+    records = [run_cell(workload, cfg, params=params, check=check,
+                        mcpat=mcpat)
+               for cfg in configs]
+    base_cycles = records[baseline_index].cycles
+    for record in records:
+        record.speedup = base_cycles / record.cycles if record.cycles else 0.0
+    return records
+
+
+def average_speedups(per_workload: Dict[str, List[RunRecord]]) -> List[float]:
+    """Geometric-mean-free average speedup per series position (Fig. 4)."""
+    n = min(len(records) for records in per_workload.values())
+    return [float(np.mean([records[i].speedup
+                           for records in per_workload.values()]))
+            for i in range(n)]

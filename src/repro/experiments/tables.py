@@ -1,0 +1,63 @@
+"""Tables I, II, III, IV and V regenerators."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.config import ava_config, native_config, table1_rows
+from repro.experiments.configs import equivalence_rows, table2_rows
+from repro.experiments.rendering import render_table
+from repro.power.physical import PhysicalDesignModel, PnrResult
+from repro.workloads.registry import all_workloads
+
+
+def render_table1() -> str:
+    """Table I: P-VRF configurations (P-regs vs MVL)."""
+    rows = table1_rows()
+    return render_table(
+        ["P-Regs", "MVL"],
+        [[p, m] for p, m in rows]) + "\n(paper: 64/32/21/16/12/10/9/8)"
+
+
+def render_table2() -> str:
+    """Table II: the five NATIVE system configurations."""
+    return render_table(["configuration", "parameters"], table2_rows())
+
+
+def render_table3() -> str:
+    """Table III: NATIVE / AVA / RG equivalence."""
+    return render_table(["NATIVE", "AVA (P-regs)", "RG"], equivalence_rows())
+
+
+def render_table4() -> str:
+    """Table IV: the selected RiVEC applications."""
+    rows = [[w.name, w.domain, w.model] for w in all_workloads()]
+    return render_table(["Application", "Domain", "Algorithmic Model"], rows)
+
+
+def table5_results() -> List[PnrResult]:
+    """Table V rows (NATIVE X8 and AVA), plus extrapolated NATIVE X2–X4."""
+    model = PhysicalDesignModel()
+    configs = [native_config(8), ava_config(8),
+               native_config(2), native_config(3), native_config(4)]
+    return [model.evaluate(cfg) for cfg in configs]
+
+
+def render_table5() -> str:
+    results = table5_results()
+    rows = []
+    for r in results:
+        rows.append([r.config_name, f"{r.wns_ns:+.3f}", f"{r.power_mw:.0f}",
+                     f"{r.area_mm2:.2f}", f"{r.density_pct:.1f}%",
+                     f"{r.vrf_macro_power_mw:.0f}/{r.vrf_macro_area_mm2:.3f}",
+                     f"{r.ava_structs_power_mw:.3f}/"
+                     f"{r.ava_structs_area_mm2:.4f}"])
+    model = PhysicalDesignModel()
+    reduction = model.area_reduction_vs(ava_config(8), native_config(8))
+    return (render_table(
+        ["config", "WNS (ns)", "Power (mW)", "Area (mm2)", "Density",
+         "VRF macros (mW/mm2)", "AVA structs (mW/mm2)"], rows)
+        + f"\nChip area reduction AVA vs NATIVE X8: {reduction:.1%} "
+          f"(paper: 50.7%)"
+        + "\n(rows below AVA extrapolate configurations the paper does not "
+          "publish)")

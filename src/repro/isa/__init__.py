@@ -1,0 +1,40 @@
+"""RISC-V-style vector ISA subset used by the AVA reproduction.
+
+This package defines the instruction vocabulary shared by every layer of the
+stack: the kernel-builder DSL emits *virtual-register* instructions, the
+compiler (:mod:`repro.compiler`) rewrites them onto architectural registers
+(inserting spill code), and the simulator (:mod:`repro.sim`) renames them onto
+Virtual Vector Registers (VVRs) and physical registers.
+
+The subset mirrors what the RiVEC benchmark kernels need: single-width 64-bit
+element arithmetic (add/sub/mul/div/sqrt/fma/min/max), compares and merges for
+mask-style control, reductions, and unit-stride / strided / indexed memory
+operations, plus an abstract scalar-overhead instruction that models the
+scalar core's loop control (`vsetvl`, address bumps, branch).
+"""
+
+from repro.isa.registers import NUM_LOGICAL_VREGS, VectorRegister, vreg_name
+from repro.isa.opcodes import Op, OpKind, OPCODE_INFO, OpInfo
+from repro.isa.operands import MemOperand, AddressSpace
+from repro.isa.instructions import Instruction, Tag, scalar_block
+from repro.isa.program import Program, ProgramStats
+from repro.isa.builder import KernelBuilder, VirtualReg
+
+__all__ = [
+    "NUM_LOGICAL_VREGS",
+    "VectorRegister",
+    "vreg_name",
+    "Op",
+    "OpKind",
+    "OpInfo",
+    "OPCODE_INFO",
+    "MemOperand",
+    "AddressSpace",
+    "Instruction",
+    "Tag",
+    "scalar_block",
+    "Program",
+    "ProgramStats",
+    "KernelBuilder",
+    "VirtualReg",
+]

@@ -1,0 +1,160 @@
+"""Instruction objects shared by the compiler and the simulator.
+
+An :class:`Instruction` is immutable once built; pipeline state (rename
+mappings, issue/commit timestamps) lives in the simulator's per-instruction
+micro-op wrapper, never here, so the same program object can be replayed
+across many configurations.
+
+The ``dst``/``srcs`` register fields are plain integers whose namespace
+depends on the processing stage:
+
+* straight out of :class:`repro.isa.builder.KernelBuilder` they are *virtual*
+  registers (unbounded),
+* after :func:`repro.compiler.allocate` they are *architectural* registers
+  (0..31, or 0..32/LMUL-1 under Register Grouping),
+* the simulator renames them again onto VVRs and physical registers.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa.opcodes import Op, OpInfo, OpKind, op_info
+from repro.isa.operands import MemOperand
+
+
+class Tag(enum.Enum):
+    """Provenance of a memory instruction, for Figure-3's breakdown."""
+
+    NORMAL = "normal"
+    SPILL = "spill"  # compiler-inserted (Register Grouping)
+    SWAP = "swap"  # hardware-inserted by AVA's Swap Mechanism
+
+
+_seq_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One vector (or scalar-overhead) instruction.
+
+    Attributes:
+        op: opcode.
+        dst: destination register, or ``None`` for stores / scalar blocks.
+        srcs: source vector registers, in opcode order.
+        scalar: scalar operand (``.vf`` forms, immediates); for
+            ``SCALAR_BLOCK`` it holds the scalar-core cycle cost of the block.
+        vl: vector length this instruction executes with.
+        mem: memory operand for loads/stores.
+        tag: NORMAL / SPILL / SWAP provenance.
+        uid: globally unique id, assigned at construction.
+    """
+
+    op: Op
+    dst: Optional[int] = None
+    srcs: Tuple[int, ...] = ()
+    scalar: Optional[float] = None
+    vl: int = 0
+    mem: Optional[MemOperand] = None
+    tag: Tag = Tag.NORMAL
+    uid: int = field(default_factory=lambda: next(_seq_counter))
+
+    def __post_init__(self) -> None:
+        info = self.info
+        if info.kind is OpKind.SCALAR:
+            return
+        if len(self.srcs) != info.n_srcs:
+            raise ValueError(
+                f"{self.op.value} expects {info.n_srcs} vector sources, "
+                f"got {len(self.srcs)}")
+        if info.uses_scalar and self.scalar is None:
+            raise ValueError(f"{self.op.value} requires a scalar operand")
+        if info.is_memory and self.mem is None:
+            raise ValueError(f"{self.op.value} requires a memory operand")
+        if info.kind is OpKind.MEM_STORE and self.dst is not None:
+            raise ValueError("stores have no destination register")
+        if (info.kind in (OpKind.ARITH, OpKind.MEM_LOAD)
+                and self.dst is None):
+            raise ValueError(f"{self.op.value} requires a destination")
+        if self.vl <= 0:
+            raise ValueError("vector instructions need vl >= 1")
+
+    @property
+    def info(self) -> OpInfo:
+        return op_info(self.op)
+
+    @property
+    def is_memory(self) -> bool:
+        return self.info.is_memory
+
+    @property
+    def is_load(self) -> bool:
+        return self.info.kind is OpKind.MEM_LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.info.kind is OpKind.MEM_STORE
+
+    @property
+    def is_arith(self) -> bool:
+        return self.info.is_arith
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.info.kind is OpKind.SCALAR
+
+    @property
+    def registers(self) -> Tuple[int, ...]:
+        """All register operands (sources plus destination if present)."""
+        if self.dst is None:
+            return self.srcs
+        return self.srcs + (self.dst,)
+
+    def remap(self, mapping: dict[int, int],
+              mem: Optional[MemOperand] = None,
+              vl: Optional[int] = None) -> "Instruction":
+        """Return a copy with registers rewritten through ``mapping``.
+
+        Used by the register allocator (virtual -> architectural) and by the
+        strip-mining trace emitter (rebasing memory operands per iteration).
+        """
+        return Instruction(
+            op=self.op,
+            dst=None if self.dst is None else mapping[self.dst],
+            srcs=tuple(mapping[s] for s in self.srcs),
+            scalar=self.scalar,
+            vl=self.vl if vl is None else vl,
+            mem=self.mem if mem is None else mem,
+            tag=self.tag,
+        )
+
+    def describe(self) -> str:
+        parts = [self.op.value]
+        if self.dst is not None:
+            parts.append(f"d{self.dst}")
+        parts.extend(f"s{s}" for s in self.srcs)
+        if self.scalar is not None:
+            parts.append(f"f={self.scalar:g}")
+        if self.mem is not None:
+            parts.append(self.mem.describe())
+        parts.append(f"vl={self.vl}")
+        if self.tag is not Tag.NORMAL:
+            parts.append(self.tag.value.upper())
+        return " ".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+
+def scalar_block(cycles: float) -> Instruction:
+    """Build a scalar-overhead marker costing ``cycles`` scalar-core cycles.
+
+    The paper's scalar core runs at 2 GHz while the VPU runs at 1 GHz, so the
+    simulator halves this cost when converting to VPU cycles.
+    """
+    if cycles < 0:
+        raise ValueError("scalar block cost must be non-negative")
+    return Instruction(op=Op.SCALAR_BLOCK, scalar=float(cycles))

@@ -1,0 +1,245 @@
+"""Vector opcodes, their timing classes and functional semantics.
+
+Each opcode carries an :class:`OpInfo` record describing
+
+* its kind (arithmetic, memory load/store, scalar overhead),
+* the number of vector source operands it reads,
+* whether it consumes a scalar operand (``.vf`` forms, immediates),
+* its pipeline latency in VPU cycles (cycles until the first result element
+  is available for chaining), and
+* its throughput cost as ``beats_per_element`` — 1.0 for fully pipelined
+  units, >1 for iterative units such as divide and square root,
+* an optional numpy evaluator used by the functional execution mode.
+
+Integer/bitwise opcodes operate on the 64-bit integer reinterpretation of the
+register contents, which is how the ParticleFilter kernel implements its
+linear congruential generator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+
+class OpKind(enum.Enum):
+    """Coarse instruction class, used for queue steering and statistics."""
+
+    ARITH = "arith"
+    MEM_LOAD = "load"
+    MEM_STORE = "store"
+    SCALAR = "scalar"
+
+
+class Op(enum.Enum):
+    """The vector instruction subset used by the RiVEC-style kernels."""
+
+    # Arithmetic (.vv forms unless noted).
+    VADD = "vadd"
+    VSUB = "vsub"
+    VMUL = "vmul"
+    VDIV = "vdiv"
+    VSQRT = "vsqrt"
+    VFMADD = "vfmadd"  # dst = s0 * s1 + s2
+    VFMADD_VF = "vfmadd.vf"  # dst = scalar * s0 + s1  (axpy's vfmacc)
+    VADD_VF = "vadd.vf"  # dst = s0 + scalar
+    VSUB_VF = "vsub.vf"  # dst = s0 - scalar
+    VRSUB_VF = "vrsub.vf"  # dst = scalar - s0
+    VMUL_VF = "vmul.vf"  # dst = s0 * scalar
+    VDIV_VF = "vdiv.vf"  # dst = s0 / scalar
+    VMAX = "vmax"
+    VMIN = "vmin"
+    VMAX_VF = "vmax.vf"
+    VMIN_VF = "vmin.vf"
+    VABS = "vabs"
+    VNEG = "vneg"
+    VRECIP = "vrecip"  # fast reciprocal estimate (exact here)
+    VRSQRT = "vrsqrt"  # fast reciprocal square root (exact here)
+    VAND = "vand"
+    VOR = "vor"
+    VXOR = "vxor"
+    VAND_VI = "vand.vi"  # bitwise and with integer immediate
+    VSLL_VI = "vsll.vi"
+    VSRL_VI = "vsrl.vi"
+    VMFLT = "vmflt"  # mask: s0 < s1
+    VMFLE = "vmfle"
+    VMFEQ = "vmfeq"
+    VMERGE = "vmerge"  # dst = s0 ? s1 : s2 (mask in s0)
+    VREDSUM = "vredsum"  # reduction, result broadcast to all elements
+    VREDMAX = "vredmax"
+    VREDMIN = "vredmin"
+    VMV = "vmv"  # register copy
+    VFMV_VF = "vfmv.vf"  # broadcast scalar
+    VID = "vid"  # dst[i] = i
+
+    # Memory.
+    VLE = "vle"  # unit-stride load
+    VSE = "vse"  # unit-stride store
+    VLSE = "vlse"  # strided load
+    VSSE = "vsse"  # strided store
+    VLXE = "vlxe"  # indexed (gather) load, index vector in s0
+    VSXE = "vsxe"  # indexed (scatter) store, data s0, index vector in s1
+
+    # Scalar-core overhead marker (loop control, vsetvl, address bumps).
+    SCALAR_BLOCK = "scalar"
+
+
+Evaluator = Callable[[Sequence[np.ndarray], Optional[float]], np.ndarray]
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of one opcode."""
+
+    kind: OpKind
+    n_srcs: int
+    uses_scalar: bool
+    latency: int
+    beats_per_element: float
+    evaluate: Optional[Evaluator]
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind in (OpKind.MEM_LOAD, OpKind.MEM_STORE)
+
+    @property
+    def is_arith(self) -> bool:
+        return self.kind is OpKind.ARITH
+
+
+def _as_int(a: np.ndarray) -> np.ndarray:
+    return a.astype(np.int64)
+
+
+def _as_f64(a: np.ndarray) -> np.ndarray:
+    return a.astype(np.float64)
+
+
+def _safe_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    out = np.empty_like(a)
+    nz = b != 0
+    out[nz] = a[nz] / b[nz]
+    out[~nz] = 0.0
+    return out
+
+
+def _arith(n_srcs: int, latency: int, fn: Evaluator, *, scalar: bool = False,
+           beats: float = 1.0) -> OpInfo:
+    return OpInfo(OpKind.ARITH, n_srcs, scalar, latency, beats, fn)
+
+
+#: Pipeline latency of the simple FP ops (add-class) in VPU cycles.
+LAT_SIMPLE = 4
+#: Pipeline latency of the FP multiplier.
+LAT_MUL = 5
+#: Pipeline latency of the fused multiply-add pipeline.
+LAT_FMA = 6
+#: Latency / per-element throughput of the iterative divide / sqrt unit.
+LAT_DIV = 12
+BEATS_DIV = 4.0
+#: Latency of the reciprocal-estimate fast path.
+LAT_RECIP = 8
+BEATS_RECIP = 2.0
+#: Latency of tree reductions.
+LAT_RED = 8
+
+
+OPCODE_INFO: dict[Op, OpInfo] = {
+    Op.VADD: _arith(2, LAT_SIMPLE, lambda s, f: s[0] + s[1]),
+    Op.VSUB: _arith(2, LAT_SIMPLE, lambda s, f: s[0] - s[1]),
+    Op.VMUL: _arith(2, LAT_MUL, lambda s, f: s[0] * s[1]),
+    Op.VDIV: _arith(2, LAT_DIV, lambda s, f: _safe_div(s[0], s[1]),
+                    beats=BEATS_DIV),
+    Op.VSQRT: _arith(1, LAT_DIV, lambda s, f: np.sqrt(np.abs(s[0])),
+                     beats=BEATS_DIV),
+    Op.VFMADD: _arith(3, LAT_FMA, lambda s, f: s[0] * s[1] + s[2]),
+    Op.VFMADD_VF: _arith(2, LAT_FMA, lambda s, f: f * s[0] + s[1],
+                         scalar=True),
+    Op.VADD_VF: _arith(1, LAT_SIMPLE, lambda s, f: s[0] + f, scalar=True),
+    Op.VSUB_VF: _arith(1, LAT_SIMPLE, lambda s, f: s[0] - f, scalar=True),
+    Op.VRSUB_VF: _arith(1, LAT_SIMPLE, lambda s, f: f - s[0], scalar=True),
+    Op.VMUL_VF: _arith(1, LAT_MUL, lambda s, f: s[0] * f, scalar=True),
+    Op.VDIV_VF: _arith(1, LAT_DIV,
+                       lambda s, f: s[0] / f if f else np.zeros_like(s[0]),
+                       scalar=True, beats=BEATS_DIV),
+    Op.VMAX: _arith(2, LAT_SIMPLE, lambda s, f: np.maximum(s[0], s[1])),
+    Op.VMIN: _arith(2, LAT_SIMPLE, lambda s, f: np.minimum(s[0], s[1])),
+    Op.VMAX_VF: _arith(1, LAT_SIMPLE, lambda s, f: np.maximum(s[0], f),
+                       scalar=True),
+    Op.VMIN_VF: _arith(1, LAT_SIMPLE, lambda s, f: np.minimum(s[0], f),
+                       scalar=True),
+    Op.VABS: _arith(1, LAT_SIMPLE, lambda s, f: np.abs(s[0])),
+    Op.VNEG: _arith(1, LAT_SIMPLE, lambda s, f: -s[0]),
+    Op.VRECIP: _arith(1, LAT_RECIP, lambda s, f: _safe_div(
+        np.ones_like(s[0]), s[0]), beats=BEATS_RECIP),
+    Op.VRSQRT: _arith(1, LAT_RECIP, lambda s, f: _safe_div(
+        np.ones_like(s[0]), np.sqrt(np.abs(s[0]))), beats=BEATS_RECIP),
+    Op.VAND: _arith(2, LAT_SIMPLE,
+                    lambda s, f: _as_f64(_as_int(s[0]) & _as_int(s[1]))),
+    Op.VOR: _arith(2, LAT_SIMPLE,
+                   lambda s, f: _as_f64(_as_int(s[0]) | _as_int(s[1]))),
+    Op.VXOR: _arith(2, LAT_SIMPLE,
+                    lambda s, f: _as_f64(_as_int(s[0]) ^ _as_int(s[1]))),
+    Op.VAND_VI: _arith(1, LAT_SIMPLE,
+                       lambda s, f: _as_f64(_as_int(s[0]) & int(f)),
+                       scalar=True),
+    Op.VSLL_VI: _arith(1, LAT_SIMPLE,
+                       lambda s, f: _as_f64(_as_int(s[0]) << int(f)),
+                       scalar=True),
+    Op.VSRL_VI: _arith(1, LAT_SIMPLE,
+                       lambda s, f: _as_f64(_as_int(s[0]) >> int(f)),
+                       scalar=True),
+    Op.VMFLT: _arith(2, LAT_SIMPLE,
+                     lambda s, f: (s[0] < s[1]).astype(np.float64)),
+    Op.VMFLE: _arith(2, LAT_SIMPLE,
+                     lambda s, f: (s[0] <= s[1]).astype(np.float64)),
+    Op.VMFEQ: _arith(2, LAT_SIMPLE,
+                     lambda s, f: (s[0] == s[1]).astype(np.float64)),
+    Op.VMERGE: _arith(3, LAT_SIMPLE,
+                      lambda s, f: np.where(s[0] != 0.0, s[1], s[2])),
+    Op.VREDSUM: _arith(1, LAT_RED,
+                       lambda s, f: np.full_like(s[0], s[0].sum())),
+    Op.VREDMAX: _arith(1, LAT_RED,
+                       lambda s, f: np.full_like(s[0], s[0].max())),
+    Op.VREDMIN: _arith(1, LAT_RED,
+                       lambda s, f: np.full_like(s[0], s[0].min())),
+    Op.VMV: _arith(1, LAT_SIMPLE, lambda s, f: s[0].copy()),
+    Op.VFMV_VF: _arith(0, LAT_SIMPLE, None, scalar=True),
+    Op.VID: _arith(0, LAT_SIMPLE, None),
+    # Memory latency is supplied by the memory hierarchy at simulation time;
+    # the `latency` recorded here is only the address-generation overhead.
+    Op.VLE: OpInfo(OpKind.MEM_LOAD, 0, False, 0, 1.0, None),
+    Op.VSE: OpInfo(OpKind.MEM_STORE, 1, False, 0, 1.0, None),
+    Op.VLSE: OpInfo(OpKind.MEM_LOAD, 0, False, 0, 1.0, None),
+    Op.VSSE: OpInfo(OpKind.MEM_STORE, 1, False, 0, 1.0, None),
+    Op.VLXE: OpInfo(OpKind.MEM_LOAD, 1, False, 0, 1.0, None),
+    Op.VSXE: OpInfo(OpKind.MEM_STORE, 2, False, 0, 1.0, None),
+    Op.SCALAR_BLOCK: OpInfo(OpKind.SCALAR, 0, True, 0, 0.0, None),
+}
+
+
+def op_info(op: Op) -> OpInfo:
+    """Look up the :class:`OpInfo` for ``op`` (raises ``KeyError`` if absent)."""
+    return OPCODE_INFO[op]
+
+
+def evaluate_arith(op: Op, srcs: Sequence[np.ndarray],
+                   scalar: Optional[float], vl: int) -> np.ndarray:
+    """Functionally evaluate an arithmetic opcode over ``vl`` elements.
+
+    The zero-source generator opcodes (``vfmv``, ``vid``) are handled here
+    because their result depends only on ``vl`` and the scalar operand.
+    """
+    info = OPCODE_INFO[op]
+    if not info.is_arith:
+        raise ValueError(f"{op} is not an arithmetic opcode")
+    if op is Op.VFMV_VF:
+        return np.full(vl, float(scalar), dtype=np.float64)
+    if op is Op.VID:
+        return np.arange(vl, dtype=np.float64)
+    assert info.evaluate is not None
+    clipped = [np.asarray(s[:vl], dtype=np.float64) for s in srcs]
+    return info.evaluate(clipped, scalar)

@@ -1,0 +1,49 @@
+"""Architectural (logical) vector registers.
+
+The RISC-V vector extension defines 32 architectural vector registers
+``v0``–``v31``; AVA keeps all 32 visible regardless of the MVL configuration
+(§II of the paper), which is one of its key differences from Register
+Grouping, where LMUL divides the architectural register count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Number of architectural vector registers defined by the vector ISA.
+NUM_LOGICAL_VREGS = 32
+
+#: Default element width in bytes (the paper uses 64-bit elements throughout).
+ELEMENT_BYTES = 8
+
+
+def vreg_name(index: int) -> str:
+    """Return the assembly name (``v7``) for a logical register index."""
+    if not 0 <= index < NUM_LOGICAL_VREGS:
+        raise ValueError(f"logical vector register index out of range: {index}")
+    return f"v{index}"
+
+
+@dataclass(frozen=True)
+class VectorRegister:
+    """A named architectural vector register.
+
+    Thin value object used where an explicit type reads better than a bare
+    ``int`` (e.g. the public API of :class:`repro.isa.builder.KernelBuilder`).
+    """
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < NUM_LOGICAL_VREGS:
+            raise ValueError(
+                f"vector register index must be in [0, {NUM_LOGICAL_VREGS}), "
+                f"got {self.index}"
+            )
+
+    @property
+    def name(self) -> str:
+        return vreg_name(self.index)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name

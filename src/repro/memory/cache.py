@@ -1,0 +1,130 @@
+"""Set-associative write-back cache with true-LRU replacement.
+
+The model is behavioural: it tracks tag state, hit/miss/writeback counts and
+exposes a per-access boolean (hit?) so the caller can assemble latency.  It
+deliberately has no MSHRs or bank conflicts — the VPU's memory unit is
+in-order and issues line requests back-to-back, so a hit/miss stream plus a
+fixed miss penalty captures the timing behaviour the paper's comparisons
+depend on (vector kernels here are dominated by capacity behaviour in the
+1 MB L2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    line_bytes: int = 64  # 512-bit lines, per Table II
+    associativity: int = 8
+    latency: int = 12
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ValueError(
+                f"{self.name}: size must be a multiple of line*assoc")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+@dataclass
+class CacheStats:
+    """Access counters (consumed by the McPAT-style energy model)."""
+
+    reads: int = 0
+    writes: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0 - self.misses / self.accesses if self.accesses else 1.0
+
+    def reset(self) -> None:
+        self.reads = self.writes = 0
+        self.read_misses = self.write_misses = self.writebacks = 0
+
+
+class Cache:
+    """One cache level.
+
+    ``access(addr, write)`` returns True on hit.  Replacement is true LRU,
+    implemented with a per-set monotonic timestamp; dirty evictions increment
+    the ``writebacks`` counter (the DRAM model charges them bandwidth).
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.stats = CacheStats()
+        # set index -> {tag: (last_use, dirty)}
+        self._sets: List[Dict[int, List]] = [
+            {} for _ in range(config.n_sets)]
+        self._tick = 0
+
+    def _locate(self, addr: int) -> tuple[int, int]:
+        line = addr // self.config.line_bytes
+        return line % self.config.n_sets, line // self.config.n_sets
+
+    def access(self, addr: int, write: bool = False) -> bool:
+        """Access the byte address ``addr``; returns True on hit."""
+        self._tick += 1
+        set_idx, tag = self._locate(addr)
+        ways = self._sets[set_idx]
+        if write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+
+        entry = ways.get(tag)
+        if entry is not None:
+            entry[0] = self._tick
+            entry[1] = entry[1] or write
+            return True
+
+        if write:
+            self.stats.write_misses += 1
+        else:
+            self.stats.read_misses += 1
+
+        if len(ways) >= self.config.associativity:
+            victim_tag = min(ways, key=lambda t: ways[t][0])
+            if ways[victim_tag][1]:
+                self.stats.writebacks += 1
+            del ways[victim_tag]
+        # Write-allocate: the line is brought in either way.
+        ways[tag] = [self._tick, write]
+        return False
+
+    def contains(self, addr: int) -> bool:
+        set_idx, tag = self._locate(addr)
+        return tag in self._sets[set_idx]
+
+    def flush(self) -> int:
+        """Invalidate everything; returns the number of dirty lines flushed."""
+        dirty = 0
+        for ways in self._sets:
+            dirty += sum(1 for entry in ways.values() if entry[1])
+            ways.clear()
+        return dirty
+
+    @property
+    def occupancy(self) -> int:
+        """Number of resident lines (diagnostics / tests)."""
+        return sum(len(ways) for ways in self._sets)

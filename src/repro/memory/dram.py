@@ -1,0 +1,46 @@
+"""Flat-latency DRAM model (Table II's 2 GB DDR3).
+
+A single latency plus a line-transfer cost is enough at the fidelity this
+reproduction targets: every configuration being compared sees the same DRAM,
+and the experiments sweep register-file organisations, not memory
+controllers.  Counters feed the energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """DRAM timing in VPU (1 GHz) cycles."""
+
+    latency: int = 80
+    line_transfer: int = 4  # 512-bit line over a 128-bit DDR interface
+
+
+@dataclass
+class Dram:
+    """Access counter + latency provider for the main memory."""
+
+    config: DramConfig = DramConfig()
+    line_reads: int = 0
+    line_writes: int = 0
+
+    def read_line(self) -> int:
+        """Fetch one line; returns the service latency in cycles."""
+        self.line_reads += 1
+        return self.config.latency + self.config.line_transfer
+
+    def write_line(self) -> int:
+        """Write back one line; returns the occupancy cost in cycles."""
+        self.line_writes += 1
+        return self.config.line_transfer
+
+    @property
+    def accesses(self) -> int:
+        return self.line_reads + self.line_writes
+
+    def reset(self) -> None:
+        self.line_reads = 0
+        self.line_writes = 0

@@ -1,0 +1,89 @@
+"""The composed memory system of Table II.
+
+The Vector Memory Unit (VMU) bypasses the L1 caches and talks to the L2
+directly over a 512-bit interface, so the central entry point here is
+:meth:`MemorySystem.vector_line_access`: one 512-bit beat into the L2,
+returning the latency contribution of that beat (L2 hit latency, plus the
+DRAM penalty on a miss).
+
+The scalar side (L1I/L1D) only matters for the scalar-core overhead model
+and the area/energy accounting, but it is a real cache pair and is exercised
+by the scalar-block cost model and the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.dram import Dram, DramConfig
+
+
+@dataclass(frozen=True)
+class MemorySystemConfig:
+    """Geometry/latency bundle; defaults reproduce Table II."""
+
+    l1i: CacheConfig = CacheConfig("L1I", 32 * 1024, 64, 8, latency=4)
+    l1d: CacheConfig = CacheConfig("L1D", 32 * 1024, 64, 8, latency=4)
+    l2: CacheConfig = CacheConfig("L2", 1024 * 1024, 64, 16, latency=12)
+    dram: DramConfig = DramConfig()
+    #: 512-bit VMU interface = 8 × 64-bit elements per beat.
+    vector_interface_bytes: int = 64
+
+
+class MemorySystem:
+    """L1I + L1D + unified L2 + DRAM, shared by timing and energy models."""
+
+    def __init__(self, config: MemorySystemConfig | None = None) -> None:
+        self.config = config or MemorySystemConfig()
+        self.l1i = Cache(self.config.l1i)
+        self.l1d = Cache(self.config.l1d)
+        self.l2 = Cache(self.config.l2)
+        self.dram = Dram(self.config.dram)
+
+    # -- vector side (VMU -> L2) ---------------------------------------------
+    def vector_line_access(self, addr: int, write: bool) -> bool:
+        """One 512-bit VMU beat into the L2 at byte address ``addr``.
+
+        Returns True on an L2 miss.  The miss's line fill is counted against
+        the DRAM here; how the latency and transfer cost surface in the
+        pipeline (bandwidth-serialised fill beats, once-per-instruction
+        latency) is the VMU's concern — see
+        :class:`repro.vpu.vmu.MemoryAccessPlan`.
+        """
+        if self.l2.access(addr, write):
+            return False
+        # Write-allocate: misses fill the line from DRAM either way; dirty
+        # writebacks are charged when the victim line is evicted.
+        self.dram.read_line()
+        return True
+
+    @property
+    def vector_first_latency(self) -> int:
+        """Pipeline latency from VMU issue to first element (L2 hit path)."""
+        return self.config.l2.latency
+
+    # -- scalar side -----------------------------------------------------------
+    def scalar_read(self, addr: int) -> int:
+        """Scalar load; returns its latency in scalar-core cycles."""
+        if self.l1d.access(addr, write=False):
+            return self.config.l1d.latency
+        if self.l2.access(addr, write=False):
+            return self.config.l1d.latency + self.config.l2.latency
+        return (self.config.l1d.latency + self.config.l2.latency
+                + self.dram.read_line())
+
+    def fetch(self, addr: int) -> int:
+        """Instruction fetch; returns its latency in scalar-core cycles."""
+        if self.l1i.access(addr, write=False):
+            return self.config.l1i.latency
+        if self.l2.access(addr, write=False):
+            return self.config.l1i.latency + self.config.l2.latency
+        return (self.config.l1i.latency + self.config.l2.latency
+                + self.dram.read_line())
+
+    def reset_stats(self) -> None:
+        self.l1i.stats.reset()
+        self.l1d.stats.reset()
+        self.l2.stats.reset()
+        self.dram.reset()

@@ -1,0 +1,155 @@
+"""Block floorplanner for Figure 5's chip plots.
+
+Produces a simplified rectangular floorplan of the VPU matching the paper's
+layout description: eight lanes in two columns (blocks A–H), the Vector
+Memory Unit (I), ROB (J), instruction queue (K), the remaining modules (L),
+the AVA structures (M, only on AVA dies), and the VRF memory macros placed
+at the corners — "VRF memory macros can be identified on the corners".
+
+The floorplan also yields an average SRAM-to-lane wire-length estimate,
+which is the mechanism §VII blames for NATIVE X8's negative slack; a unit
+test checks that the estimate grows with the macro area the way the WNS
+surrogate assumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.config import MachineConfig, MachineMode
+from repro.power.physical import PhysicalDesignModel
+from repro.power.technology import TECH_22NM, Technology
+
+
+@dataclass(frozen=True)
+class Block:
+    """One placed rectangle (µm coordinates)."""
+
+    label: str
+    name: str
+    x: float
+    y: float
+    width: float
+    height: float
+
+    @property
+    def centre(self) -> tuple[float, float]:
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    @property
+    def area_um2(self) -> float:
+        return self.width * self.height
+
+
+@dataclass
+class Floorplan:
+    """A placed die."""
+
+    config_name: str
+    die_width_um: float
+    die_height_um: float
+    blocks: List[Block] = field(default_factory=list)
+
+    @property
+    def die_area_mm2(self) -> float:
+        return self.die_width_um * self.die_height_um * 1e-6
+
+    def average_macro_lane_wire_um(self) -> float:
+        """Mean centre-to-centre distance from VRF macros to lane logic."""
+        macros = [b for b in self.blocks if b.name.startswith("VRF")]
+        lanes = [b for b in self.blocks if b.name.startswith("lane")]
+        if not macros or not lanes:
+            return 0.0
+        total = 0.0
+        count = 0
+        for m in macros:
+            mx, my = m.centre
+            for lane in lanes:
+                lx, ly = lane.centre
+                total += abs(mx - lx) + abs(my - ly)  # Manhattan
+                count += 1
+        return total / count
+
+    def ascii_art(self, width: int = 60, height: int = 24) -> str:
+        """Render the floorplan as ASCII (Fig. 5 style)."""
+        grid = [[" "] * width for _ in range(height)]
+        sx = width / self.die_width_um
+        sy = height / self.die_height_um
+        for block in self.blocks:
+            x0 = int(block.x * sx)
+            y0 = int(block.y * sy)
+            x1 = max(x0 + 1, int((block.x + block.width) * sx))
+            y1 = max(y0 + 1, int((block.y + block.height) * sy))
+            for y in range(y0, min(y1, height)):
+                for x in range(x0, min(x1, width)):
+                    grid[y][x] = block.label
+        border = "+" + "-" * width + "+"
+        body = "\n".join("|" + "".join(row) + "|" for row in grid)
+        return f"{border}\n{body}\n{border}"
+
+    def legend(self) -> str:
+        seen = {}
+        for b in self.blocks:
+            seen.setdefault(b.label, b.name)
+        return "  ".join(f"{label}={name}" for label, name in
+                         sorted(seen.items()))
+
+
+def build_floorplan(config: MachineConfig,
+                    tech: Technology = TECH_22NM) -> Floorplan:
+    """Place the VPU blocks for one configuration (Fig. 5)."""
+    pnr = PhysicalDesignModel(tech).evaluate(config)
+    # The paper's dies: NATIVE X8 is 2600×1500 µm, AVA 1800×1100 µm; keep
+    # the published 26:15 aspect ratio and size the die from the PnR area.
+    aspect = 2600.0 / 1500.0
+    area_um2 = pnr.area_mm2 * 1e6
+    die_h = math.sqrt(area_um2 / aspect)
+    die_w = aspect * die_h
+
+    plan = Floorplan(config.name, die_w, die_h)
+    blocks = plan.blocks
+
+    # VRF macros at the four corners.
+    macro_um2 = pnr.vrf_macro_area_mm2 * 1e6
+    quarter = macro_um2 / 4.0
+    mw = math.sqrt(quarter * aspect)
+    mh = quarter / mw
+    for label, (cx, cy) in zip("WXYZ", ((0, 0), (1, 0), (0, 1), (1, 1))):
+        blocks.append(Block(
+            label="#", name=f"VRF macro {label}",
+            x=cx * (die_w - mw), y=cy * (die_h - mh), width=mw, height=mh))
+
+    # Eight lanes in two columns between the corner macros.
+    lane_labels = "ABCDEFGH"
+    inner_w = die_w - 2 * mw
+    lane_w = inner_w / 2.0
+    lane_h = die_h / 4.0 * 0.72
+    for i, label in enumerate(lane_labels):
+        col = i % 2
+        row = i // 2
+        blocks.append(Block(
+            label=label, name=f"lane {i + 1}",
+            x=mw + col * lane_w, y=row * (die_h / 4.0),
+            width=lane_w, height=lane_h))
+
+    # Shared blocks along the horizontal midline strips.
+    strip_h = die_h / 4.0 * 0.28
+    shared = [("I", "VMU"), ("J", "ROB"), ("K", "IQ"), ("L", "misc")]
+    seg = inner_w / len(shared)
+    for i, (label, name) in enumerate(shared):
+        blocks.append(Block(
+            label=label, name=name,
+            x=mw + i * seg, y=die_h / 4.0 * 0.72,
+            width=seg, height=strip_h))
+
+    if config.mode is MachineMode.AVA:
+        s_um2 = pnr.ava_structs_area_mm2 * 1e6
+        side = math.sqrt(s_um2)
+        blocks.append(Block(
+            label="M", name="AVA structures",
+            x=mw + inner_w * 0.45, y=die_h * 0.48,
+            width=max(side, die_w * 0.02), height=max(side, die_h * 0.02)))
+
+    return plan

@@ -1,0 +1,106 @@
+"""22nm technology constants.
+
+Two kinds of numbers live here:
+
+* **Anchored** constants are taken directly from the paper's published
+  results (Fig. 4 component areas; Table V post-PnR rows) — the model must
+  reproduce those points exactly by construction.
+* **Calibrated** constants (per-event dynamic energies, leakage powers) are
+  plausible 22nm figures tuned once so the paper's *energy shape* statements
+  hold in this reproduction's (smaller, cache-warm) workload regime:
+  axpy saves ~37% total energy when reconfigured to X8 (leakage-dominated);
+  Somier's energy is dominated by L2 leakage; spill/swap-heavy X8 runs burn
+  visibly more dynamic energy.  Because the simulated problem sizes are
+  scaled down from the gem5 testbed, leakage powers carry a single
+  workload-scale factor (documented below) that keeps the leakage-to-dynamic
+  ratio in the paper's regime; all cross-configuration ratios are unaffected
+  by this factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Technology:
+    """One technology node's model constants."""
+
+    name: str = "GF 22nm (22FDX-class)"
+
+    # ---- anchored areas (mm², from Fig. 4) --------------------------------
+    #: 4R/2W VRF SRAM, per KB (0.18 mm² at 8 KB ... 1.41 mm² at 64 KB).
+    vrf_mm2_per_kb: float = 0.022
+    #: Port-count scaling of SRAM area relative to the 2-port base cell.
+    port_area_factor: float = 0.15
+    #: Reference port count of the anchored VRF figure (4R + 2W).
+    vrf_ports: int = 6
+    #: One lane's FPU datapath (8 lanes = 0.94 mm²).
+    fpu_mm2_per_lane: float = 0.1175
+    #: Scalar core pipeline.
+    core_mm2: float = 1.04
+    #: L1 instruction cache (32 KB).
+    l1i_mm2: float = 0.14
+    #: L1 data cache (32 KB, more ports).
+    l1d_mm2: float = 0.29
+    #: Unified 1 MB L2.
+    l2_mm2: float = 2.46
+    #: The AVA structures: RAT/PRMT/VRLT/RAC/PFRL + swap logic (0.55% of
+    #: the baseline VPU).
+    ava_structs_mm2: float = 0.0061
+
+    # ---- calibrated dynamic energies ---------------------------------------
+    #: One 64-bit FPU operation (pJ).
+    fpu_pj_per_op: float = 15.0
+    #: One 64-bit VRF element access at the 8 KB reference size (pJ);
+    #: scales with sqrt(size) like a CACTI bitline model.
+    vrf_pj_per_element: float = 4.0
+    #: One 512-bit L2 access (pJ).
+    l2_pj_per_access: float = 200.0
+    #: One 512-bit DRAM line transfer (pJ).
+    dram_pj_per_access: float = 2000.0
+    #: AVA bookkeeping energy as a fraction of VPU dynamic energy (the
+    #: paper reports 0.4% of VPU energy at X1).
+    ava_dynamic_fraction: float = 0.004
+
+    # ---- calibrated leakage powers (mW) -------------------------------------
+    #: Includes the workload-scale factor (~6×) that maps the paper's
+    #: second-scale runs onto this reproduction's microsecond-scale runs.
+    l2_leak_mw: float = 240.0
+    vrf_leak_mw_per_kb: float = 4.5
+    fpu_leak_mw_per_lane: float = 9.0
+    ava_structs_leak_mw: float = 0.3
+
+    # ---- Table V anchors (post-PnR surrogate) --------------------------------
+    #: VRF macro area: mm² = pnr_macro_area_coeff * KB ** pnr_macro_area_exp
+    #: (fits AVA 8 KB -> 0.257 mm² and NATIVE X8 64 KB -> 1.252 mm²).
+    pnr_macro_area_coeff: float = 0.0529
+    pnr_macro_area_exp: float = 0.76
+    #: VRF macro power: mW = coeff * KB ** exp (184 mW @ 8 KB, 388 @ 64 KB).
+    pnr_macro_power_coeff: float = 86.9
+    pnr_macro_power_exp: float = 0.359
+    #: Wiring/floorplan overhead of logic area per mm² of macro area.
+    pnr_wiring_overhead: float = 0.934
+    #: Base (AVA) logic area and power after removing macros and structures.
+    pnr_base_logic_mm2: float = 1.719
+    pnr_base_logic_mw: float = 1542.7
+    #: Extra logic/clock-tree power per mm² of additional chip area.
+    pnr_power_per_mm2: float = 187.0
+    #: Worst negative slack model: wns = slack0 - k·(sqrt(A) - sqrt(A0)).
+    pnr_slack0_ns: float = 0.119
+    pnr_wire_delay_ns_per_sqrt_mm2: float = 0.639
+    #: Placement density: d = d0 - k·(A - A0).
+    pnr_density0: float = 61.8
+    pnr_density_slope: float = 0.417
+    #: AVA structures at PnR (Table V).
+    pnr_ava_structs_mm2: float = 0.0042
+    pnr_ava_structs_mw: float = 5.266
+    #: Reference chip area (the AVA configuration).
+    pnr_ref_area_mm2: float = 1.98
+
+    #: Target clock (GHz) of the physical implementation.
+    pnr_clock_ghz: float = 1.0
+
+
+#: The technology file every experiment uses.
+TECH_22NM = Technology()

@@ -1,0 +1,13 @@
+"""Scalar-core model (Table II's dual-issue in-order RISC-V at 2 GHz).
+
+The decoupled VPU consumes vector instructions faster than the scalar core
+can feed loop control around them, so what matters is the per-iteration
+scalar cost.  :class:`repro.scalar.core.ScalarCoreModel` turns a loop-control
+shape (instruction count, loads, branch) into the scalar-cycle figure the
+workloads embed as ``scalar_block`` markers; the pipeline's dispatch stage
+then replays those costs at the 2:1 clock ratio.
+"""
+
+from repro.scalar.core import LoopOverhead, ScalarCoreModel
+
+__all__ = ["LoopOverhead", "ScalarCoreModel"]

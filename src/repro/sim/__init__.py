@@ -1,0 +1,28 @@
+"""Whole-system simulator: scalar core + VPU + memory hierarchy.
+
+:class:`repro.sim.simulator.Simulator` is the user-facing entry point::
+
+    from repro import Simulator, ava_config
+    sim = Simulator(ava_config(8), program, functional=True)
+    result = sim.run()
+    print(result.stats.cycles, result.stats.swap_loads)
+
+It wires a :class:`repro.vpu.pipeline.VectorPipeline` to a memory layout and
+collects :class:`repro.sim.stats.SimStats`.
+"""
+
+from repro.sim.layout import MemoryLayout
+from repro.sim.stats import SimStats
+from repro.sim.simulator import Simulator, SimResult
+from repro.sim.golden import GoldenExecutor
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "MemoryLayout",
+    "SimStats",
+    "Simulator",
+    "SimResult",
+    "GoldenExecutor",
+    "TraceEvent",
+    "TraceRecorder",
+]

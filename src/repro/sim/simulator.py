@@ -1,0 +1,90 @@
+"""User-facing simulator API.
+
+Wraps :class:`repro.vpu.pipeline.VectorPipeline` with data initialisation and
+a result object, so the common flow is three lines::
+
+    sim = Simulator(ava_config(8), program, functional=True)
+    sim.set_data("x", x_values)
+    result = sim.run()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.config import MachineConfig
+from repro.core.swap import VictimPolicy
+from repro.isa.program import Program
+from repro.memory.hierarchy import MemorySystem
+from repro.sim.stats import SimStats
+from repro.vpu.params import TimingParams
+from repro.vpu.pipeline import VectorPipeline
+
+
+@dataclass
+class SimResult:
+    """Statistics plus (in functional mode) the final data buffers."""
+
+    stats: SimStats
+    data: Dict[str, np.ndarray]
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    def buffer(self, name: str) -> np.ndarray:
+        return self.data[name]
+
+
+class Simulator:
+    """One (configuration, program) simulation."""
+
+    def __init__(self, config: MachineConfig, program: Program,
+                 params: Optional[TimingParams] = None,
+                 functional: bool = False,
+                 memsys: Optional[MemorySystem] = None,
+                 victim_policy: VictimPolicy = VictimPolicy.RAC_MIN,
+                 aggressive_reclamation: bool = True) -> None:
+        self.config = config
+        self.program = program
+        self.functional = functional
+        self.pipeline = VectorPipeline(
+            config, program, params=params, memsys=memsys,
+            functional=functional, victim_policy=victim_policy,
+            aggressive_reclamation=aggressive_reclamation)
+
+    def set_data(self, name: str, values: np.ndarray) -> None:
+        """Initialise an application buffer (functional mode only)."""
+        self.pipeline.layout.set_data(name, values)
+
+    def warm_caches(self) -> int:
+        """Pre-touch every application data line into the L2.
+
+        Models the steady-state region the paper measures (the RiVEC kernels
+        iterate over their data many times, so compulsory misses are
+        negligible in the reported statistics).  Returns the number of lines
+        touched.
+        """
+        from repro.isa.operands import AddressSpace, MemOperand
+        from repro.isa.registers import ELEMENT_BYTES
+
+        touched = 0
+        for name, n_elems in self.program.buffers.items():
+            base = self.pipeline.layout.base_addr(
+                MemOperand(AddressSpace.DATA, name))
+            for addr in range(base, base + n_elems * ELEMENT_BYTES, 64):
+                self.pipeline.memsys.l2.access(addr, write=False)
+                touched += 1
+        self.pipeline.memsys.reset_stats()
+        return touched
+
+    def run(self, max_cycles: int = 200_000_000) -> SimResult:
+        stats = self.pipeline.run(max_cycles=max_cycles)
+        data: Dict[str, np.ndarray] = {}
+        if self.functional:
+            data = {name: self.pipeline.layout.get_data(name)
+                    for name in self.program.buffers}
+        return SimResult(stats=stats, data=data)

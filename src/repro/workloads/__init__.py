@@ -1,0 +1,18 @@
+"""RiVEC benchmark suite reimplementation (Table IV).
+
+Six hand-vectorised applications, rebuilt in the kernel DSL with the
+register usage, live pressure, instruction mix and application vector length
+the paper reports for each (see DESIGN.md §3).  Problem sizes are scaled to
+simulator scale; figures report shapes, not absolute gem5 counts.
+"""
+
+from repro.workloads.base import CompiledWorkload, Workload
+from repro.workloads.registry import all_workloads, get_workload, WORKLOAD_NAMES
+
+__all__ = [
+    "Workload",
+    "CompiledWorkload",
+    "all_workloads",
+    "get_workload",
+    "WORKLOAD_NAMES",
+]

@@ -1,0 +1,127 @@
+"""Workload abstraction: kernel + data + oracle, compiled per configuration.
+
+A :class:`Workload` owns
+
+* a kernel body (built once, in virtual registers),
+* its strip-mining shape — total elements, optional fixed Application
+  Vector Length (LavaMD2 uses 48 regardless of MVL, §V), scalar loop cost,
+* data initialisation and a pure-numpy reference oracle used by the
+  functional tests.
+
+:meth:`Workload.compile` lowers the kernel for one machine configuration:
+strips of ``min(MVL, fixed_avl)`` elements, register allocation onto the
+configuration's architectural register count (32/LMUL under Register
+Grouping — where the compiler inserts MVL-wide spill code), producing an
+immutable :class:`repro.isa.program.Program`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.compiler.allocator import AllocationResult, allocate
+from repro.compiler.trace import StripSchedule, unroll_kernel
+from repro.core.config import MachineConfig
+from repro.isa.builder import KernelBody
+from repro.isa.program import Program
+from repro.scalar.core import loop_scalar_cycles
+
+
+@dataclass
+class CompiledWorkload:
+    """A program plus its compilation record."""
+
+    program: Program
+    allocation: AllocationResult
+    config: MachineConfig
+
+
+class Workload(ABC):
+    """One RiVEC application."""
+
+    #: Table IV fields.
+    name: str = ""
+    domain: str = ""
+    model: str = ""
+
+    #: Scaled problem size in elements (strip-mined over the MVL).
+    n_elements: int = 4096
+    #: Fixed Application Vector Length, or None for vector-length-agnostic.
+    fixed_avl: Optional[int] = None
+    #: Scalar ALU instructions in the loop control (fed to the scalar model).
+    loop_alu_insts: int = 4
+
+    def __init__(self) -> None:
+        self._body: Optional[KernelBody] = None
+
+    # -- kernel ---------------------------------------------------------------
+    @abstractmethod
+    def build_kernel(self) -> KernelBody:
+        """Construct the kernel body (called once, cached)."""
+
+    @property
+    def body(self) -> KernelBody:
+        if self._body is None:
+            self._body = self.build_kernel()
+        return self._body
+
+    # -- data / oracle -----------------------------------------------------------
+    @abstractmethod
+    def init_data(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        """Input (and output placeholder) arrays, keyed by buffer name."""
+
+    @abstractmethod
+    def reference(self, data: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Pure-numpy oracle: expected contents of the output buffers."""
+
+    @property
+    def buffers(self) -> Dict[str, int]:
+        """Buffer名 -> element count; defaults to n_elements each."""
+        rng = np.random.default_rng(0)
+        return {name: len(arr) for name, arr in self.init_data(rng).items()}
+
+    # -- strip mining -----------------------------------------------------------
+    def effective_vl(self, mvl: int) -> int:
+        """The vector length one strip executes with on a given machine."""
+        if self.fixed_avl is None:
+            return mvl
+        return min(mvl, self.fixed_avl)
+
+    def schedule(self, config: MachineConfig) -> StripSchedule:
+        vl = self.effective_vl(config.mvl)
+        return StripSchedule.for_elements(
+            self.n_elements, vl,
+            scalar_cycles=loop_scalar_cycles(self.loop_alu_insts))
+
+    # -- compilation ------------------------------------------------------------
+    def compile(self, config: MachineConfig) -> CompiledWorkload:
+        """Lower the kernel for ``config`` (LMUL reduces the register supply)."""
+        schedule = self.schedule(config)
+        trace = unroll_kernel(self.body, schedule, config.mvl)
+        allocation = allocate(trace, config.n_logical, config.mvl)
+        program = Program(
+            name=f"{self.name}@{config.name}",
+            insts=allocation.insts,
+            buffers=dict(self.buffers),
+            spill_slots=allocation.spill_slots,
+            mvl=config.mvl,
+            logical_regs=allocation.registers_used,
+            meta={
+                "workload": self.name,
+                "iterations": schedule.n_iterations,
+                "effective_vl": self.effective_vl(config.mvl),
+                "max_pressure": allocation.max_pressure,
+            },
+        )
+        program.validate(config.n_logical)
+        return CompiledWorkload(program=program, allocation=allocation,
+                                config=config)
+
+    def describe(self) -> str:
+        return (f"{self.name} ({self.domain}, {self.model}): "
+                f"{self.n_elements} elements"
+                + (f", fixed AVL={self.fixed_avl}" if self.fixed_avl else ""))

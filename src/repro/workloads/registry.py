@@ -1,0 +1,38 @@
+"""Workload registry: Table IV by name."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.workloads.axpy import Axpy
+from repro.workloads.base import Workload
+from repro.workloads.blackscholes import Blackscholes
+from repro.workloads.lavamd import LavaMD
+from repro.workloads.particlefilter import ParticleFilter
+from repro.workloads.somier import Somier
+from repro.workloads.swaptions import Swaptions
+
+_REGISTRY: Dict[str, Type[Workload]] = {
+    cls.name: cls
+    for cls in (Axpy, Blackscholes, LavaMD, ParticleFilter, Somier,
+                Swaptions)
+}
+
+#: Paper order (Table IV).
+WORKLOAD_NAMES: List[str] = [
+    "axpy", "blackscholes", "lavamd", "particlefilter", "somier", "swaptions",
+]
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate a workload by its Table-IV name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(_REGISTRY)}") from None
+
+
+def all_workloads() -> List[Workload]:
+    """All six applications, in the paper's order."""
+    return [get_workload(name) for name in WORKLOAD_NAMES]

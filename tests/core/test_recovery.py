@@ -1,0 +1,63 @@
+"""Micro-architectural recovery (§III.D)."""
+
+from repro.core.rac import RegisterAccessCounters
+from repro.core.rat import RenameTable
+from repro.core.recovery import RecoveryController
+from repro.core.vrf import TwoLevelVRF
+from repro.core.vrf_mapping import VRFMapping
+
+
+def make_machine():
+    rat = RenameTable(4, 16)
+    rac = RegisterAccessCounters(16)
+    mapping = VRFMapping(16, 8)
+    vrf = TwoLevelVRF(16, 8, 16)
+    return rat, rac, mapping, vrf, RecoveryController(rat, rac, mapping, vrf)
+
+
+def test_recover_restores_rat_and_frees_speculative_vvrs():
+    rat, rac, mapping, vrf, rc = make_machine()
+    # One committed rename establishes the retirement state.
+    new_c, old_c = rat.rename_destination(0)
+    rat.commit(0, new_c, old_c)
+    # Two speculative renames with allocated physical registers.
+    spec1, _ = rat.rename_destination(1)
+    spec2, _ = rat.rename_destination(2)
+    mapping.allocate(spec1)
+    mapping.allocate(spec2)
+    vrf.mark_pending(spec1)
+    rac.increment(spec1)
+    free_before = mapping.free_count
+
+    rc.recover([spec1, spec2])
+
+    assert rat.lookup(0) == new_c
+    assert rat.lookup(1) == 1 and rat.lookup(2) == 2
+    assert mapping.free_count == free_before + 2
+    assert rac.count(spec1) == 0  # §III.D: counters zeroed, not restored
+    assert rc.recoveries == 1
+
+
+def test_recover_restores_valid_bits():
+    rat, rac, mapping, vrf, rc = make_machine()
+    new_c, old_c = rat.rename_destination(0)
+    vrf.mark_pending(new_c)
+    vrf.commit_valid(new_c)
+    rat.commit(0, new_c, old_c)
+    vrf.mark_valid(new_c)  # speculative completion after the checkpoint
+    spec, _ = rat.rename_destination(1)
+    rc.recover([spec])
+    assert not vrf.is_valid(new_c)
+
+
+def test_recover_detects_inconsistent_squash_set():
+    rat, rac, mapping, vrf, rc = make_machine()
+    new_c, old_c = rat.rename_destination(0)
+    rat.commit(0, new_c, old_c)
+    # Claiming a *committed* VVR was squashed is a caller bug.
+    try:
+        rc.recover([new_c])
+        raised = False
+    except AssertionError:
+        raised = True
+    assert raised

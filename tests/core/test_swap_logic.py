@@ -1,0 +1,105 @@
+"""Swap Logic victim selection."""
+
+from repro.core.rac import RegisterAccessCounters
+from repro.core.swap import SwapLogic, VictimPolicy
+from repro.core.vrf import TwoLevelVRF
+from repro.core.vrf_mapping import VRFMapping
+
+
+def make_logic(policy=VictimPolicy.RAC_MIN, n_vvr=16, n_phys=4):
+    mapping = VRFMapping(n_vvr, n_phys)
+    rac = RegisterAccessCounters(n_vvr)
+    vrf = TwoLevelVRF(n_vvr, n_phys, 16)
+    return SwapLogic(mapping, rac, vrf, policy=policy), mapping, rac, vrf
+
+
+def fill(mapping, logic, vvrs):
+    for vvr in vvrs:
+        mapping.allocate(vvr)
+        logic.note_allocation(vvr)
+
+
+def test_min_count_victim_selected():
+    logic, mapping, rac, _ = make_logic()
+    fill(mapping, logic, [0, 1, 2, 3])
+    for vvr, count in ((0, 3), (1, 1), (2, 2), (3, 5)):
+        for _ in range(count):
+            rac.increment(vvr)
+    assert logic.select_victim([]) == 1
+
+
+def test_excluded_vvrs_never_chosen():
+    """The paper's deadlock rule: never evict the instruction's operands."""
+    logic, mapping, rac, _ = make_logic()
+    fill(mapping, logic, [0, 1, 2])
+    for vvr in (0, 1, 2):
+        rac.increment(vvr)
+    assert logic.select_victim([0, 1]) == 2
+    assert logic.select_victim([0, 1, 2]) is None
+
+
+def test_invalid_values_never_chosen():
+    """A VVR with an in-flight producer must not be stored to memory."""
+    logic, mapping, rac, vrf = make_logic()
+    fill(mapping, logic, [0, 1])
+    rac.increment(0)
+    rac.increment(1)
+    vrf.mark_pending(0)
+    assert logic.select_victim([]) == 1
+
+
+def test_zero_count_not_a_swap_victim():
+    """Count 0 means aggressive reclamation, not a swap."""
+    logic, mapping, rac, _ = make_logic()
+    fill(mapping, logic, [0, 1])
+    rac.increment(1)
+    assert logic.select_victim([]) == 1
+    assert logic.reclaimable_vvr([]) == 0
+
+
+def test_reclaimable_requires_valid_data():
+    logic, mapping, rac, vrf = make_logic()
+    fill(mapping, logic, [0])
+    vrf.mark_pending(0)
+    assert logic.reclaimable_vvr([]) is None
+
+
+def test_queued_reader_deprioritised():
+    logic, mapping, rac, _ = make_logic()
+    fill(mapping, logic, [0, 1])
+    rac.increment(0)
+    for _ in range(4):
+        rac.increment(1)
+    # Plain RAC-min would choose 0; a queued reader flips the choice.
+    assert logic.select_victim([], has_queued_reader=lambda v: v == 0) == 1
+
+
+def test_clean_copy_preferred():
+    logic, mapping, rac, vrf = make_logic()
+    fill(mapping, logic, [0, 1])
+    rac.increment(0)
+    for _ in range(4):
+        rac.increment(1)
+    vrf.swap_out(1, mapping.preg_of(1))  # VVR 1 has a valid M-VRF copy
+    assert logic.select_victim([], is_clean=vrf.has_mvrf_copy) == 1
+
+
+def test_fifo_policy_evicts_oldest_allocation():
+    logic, mapping, rac, _ = make_logic(policy=VictimPolicy.FIFO)
+    fill(mapping, logic, [5, 6, 7])
+    for vvr in (5, 6, 7):
+        rac.increment(vvr)
+    assert logic.select_victim([]) == 5
+    logic.note_release(5)
+    mapping.release(5)
+    assert logic.select_victim([]) == 6
+
+
+def test_round_robin_rotates():
+    logic, mapping, rac, _ = make_logic(policy=VictimPolicy.ROUND_ROBIN)
+    fill(mapping, logic, [0, 1, 2])
+    for vvr in (0, 1, 2):
+        rac.increment(vvr)
+    first = logic.select_victim([])
+    second = logic.select_victim([])
+    assert first != second

@@ -1,0 +1,31 @@
+"""The `python -m repro` command-line regenerators."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_table_artifacts(capsys):
+    for artifact, marker in (("table1", "P-Regs"), ("table2", "NATIVE X8"),
+                             ("table3", "RG-LMUL8"), ("table4", "somier"),
+                             ("table5", "WNS")):
+        assert main([artifact]) == 0
+        assert marker in capsys.readouterr().out
+
+
+def test_figure5_artifact(capsys):
+    assert main(["figure5"]) == 0
+    out = capsys.readouterr().out
+    assert "floorplans" in out and "lane" in out
+
+
+def test_figure3_single_app(capsys):
+    assert main(["figure3", "axpy"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3 panel: axpy" in out
+    assert "Swap-L" in out
+
+
+def test_unknown_artifact_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure7"])

@@ -1,0 +1,77 @@
+"""Experiment harness: configs, runner, rendering, tables."""
+
+import pytest
+
+from repro.experiments.configs import (
+    ava_series,
+    equivalence_rows,
+    figure3_series,
+    native_series,
+    rg_series,
+)
+from repro.experiments.rendering import render_bars, render_stacked, render_table
+from repro.experiments.runner import run_cell, run_series
+from repro.experiments.tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+from repro.core.config import native_config
+from repro.workloads import get_workload
+
+
+def test_series_shapes():
+    assert len(native_series()) == 5
+    assert len(ava_series()) == 5
+    assert len(rg_series()) == 4
+    series = figure3_series()
+    assert len(series) == 14  # 5 native + 5 ava + 4 rg
+    assert series[0].name == "NATIVE X1"
+    assert series[-1].name == "AVA X8"
+
+
+def test_x3_has_no_rg_equivalent():
+    names = [cfg.name for cfg in figure3_series()]
+    assert "RG-LMUL3" not in names
+    rows = equivalence_rows()
+    assert ("NATIVE X3", "AVA X3 (21-PREG)", "NA") in rows
+
+
+def test_run_cell_with_check():
+    record = run_cell(get_workload("axpy"), native_config(1), check=True)
+    assert record.correct is True
+    assert record.stats.cycles > 0
+    assert record.energy.total > 0
+
+
+def test_run_series_normalises_speedups():
+    records = run_series(get_workload("axpy"),
+                         [native_config(1), native_config(8)])
+    assert records[0].speedup == pytest.approx(1.0)
+    assert records[1].speedup > 1.0
+
+
+def test_render_table_alignment():
+    text = render_table(["a", "bbbb"], [[1, 2], [333, 4]])
+    lines = text.splitlines()
+    assert len({len(l) for l in lines}) == 1  # constant width
+
+
+def test_render_bars():
+    text = render_bars([("one", 1.0), ("two", 2.0)])
+    assert text.splitlines()[1].count("#") > text.splitlines()[0].count("#")
+
+
+def test_render_stacked_has_legend():
+    lines = render_stacked([("cfg", [("dyn", 1.0), ("leak", 2.0)])])
+    assert any("dyn" in l for l in lines)
+
+
+def test_static_tables_render():
+    assert "64" in render_table1()
+    assert "NATIVE X8" in render_table2()
+    assert "RG-LMUL8" in render_table3()
+    assert "blackscholes" in render_table4()
+    assert "WNS" in render_table5()

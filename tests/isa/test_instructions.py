@@ -1,0 +1,85 @@
+"""Instruction construction and validation."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Tag, scalar_block
+from repro.isa.opcodes import Op
+from repro.isa.operands import data_ref, spill_ref
+
+
+def test_basic_arith_instruction():
+    inst = Instruction(op=Op.VADD, dst=3, srcs=(1, 2), vl=16)
+    assert inst.is_arith and not inst.is_memory
+    assert inst.registers == (1, 2, 3)
+
+
+def test_load_requires_memory_operand():
+    with pytest.raises(ValueError):
+        Instruction(op=Op.VLE, dst=1, vl=16)
+
+
+def test_store_has_no_destination():
+    with pytest.raises(ValueError):
+        Instruction(op=Op.VSE, dst=1, srcs=(2,), vl=16, mem=data_ref("x"))
+
+
+def test_arith_requires_destination():
+    with pytest.raises(ValueError):
+        Instruction(op=Op.VADD, srcs=(1, 2), vl=16)
+
+
+def test_source_arity_enforced():
+    with pytest.raises(ValueError):
+        Instruction(op=Op.VADD, dst=0, srcs=(1,), vl=16)
+
+
+def test_scalar_forms_require_scalar():
+    with pytest.raises(ValueError):
+        Instruction(op=Op.VMUL_VF, dst=0, srcs=(1,), vl=16)
+
+
+def test_vl_must_be_positive():
+    with pytest.raises(ValueError):
+        Instruction(op=Op.VADD, dst=0, srcs=(1, 2), vl=0)
+
+
+def test_uids_are_unique():
+    a = Instruction(op=Op.VADD, dst=0, srcs=(1, 2), vl=4)
+    b = Instruction(op=Op.VADD, dst=0, srcs=(1, 2), vl=4)
+    assert a.uid != b.uid
+
+
+def test_remap_rewrites_registers():
+    inst = Instruction(op=Op.VFMADD, dst=2, srcs=(0, 1, 2), vl=8, scalar=None)
+    out = inst.remap({0: 10, 1: 11, 2: 12})
+    assert out.dst == 12
+    assert out.srcs == (10, 11, 12)
+    assert out.vl == 8
+
+
+def test_remap_overrides_vl_and_mem():
+    inst = Instruction(op=Op.VLE, dst=1, vl=1, mem=data_ref("x", 0))
+    out = inst.remap({1: 5}, mem=data_ref("x", 64), vl=16)
+    assert out.vl == 16
+    assert out.mem is not None and out.mem.base_elem == 64
+
+
+def test_spill_tag_survives_remap():
+    inst = Instruction(op=Op.VSE, srcs=(1,), vl=16, mem=spill_ref(0),
+                       tag=Tag.SPILL)
+    assert inst.remap({1: 2}).tag is Tag.SPILL
+
+
+def test_scalar_block():
+    block = scalar_block(6.0)
+    assert block.is_scalar
+    assert block.scalar == 6.0
+    with pytest.raises(ValueError):
+        scalar_block(-1.0)
+
+
+def test_describe_is_informative():
+    inst = Instruction(op=Op.VLE, dst=4, vl=16, mem=data_ref("x", 32),
+                       tag=Tag.SWAP)
+    text = inst.describe()
+    assert "vle" in text and "x[32]" in text and "SWAP" in text

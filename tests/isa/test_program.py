@@ -1,0 +1,61 @@
+"""Program container and static statistics."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Tag, scalar_block
+from repro.isa.opcodes import Op
+from repro.isa.operands import data_ref, spill_ref
+from repro.isa.program import Program
+
+
+def make_program() -> Program:
+    prog = Program(name="p", buffers={"x": 64}, mvl=16)
+    prog.append(scalar_block(4.0))
+    prog.append(Instruction(op=Op.VLE, dst=0, vl=16, mem=data_ref("x")))
+    prog.append(Instruction(op=Op.VADD, dst=1, srcs=(0, 0), vl=16))
+    prog.append(Instruction(op=Op.VSE, srcs=(1,), vl=16, mem=data_ref("x")))
+    prog.append(Instruction(op=Op.VLE, dst=2, vl=16, mem=spill_ref(0),
+                            tag=Tag.SPILL))
+    prog.append(Instruction(op=Op.VSE, srcs=(2,), vl=16, mem=spill_ref(0),
+                            tag=Tag.SPILL))
+    return prog
+
+
+def test_stats_classify_by_kind_and_tag():
+    stats = make_program().stats()
+    assert stats.vector_arith == 1
+    assert stats.vector_load == 1
+    assert stats.vector_store == 1
+    assert stats.spill_load == 1
+    assert stats.spill_store == 1
+    assert stats.scalar_blocks == 1
+    assert stats.vector_memory == 4
+    assert stats.vector_total == 5
+    assert stats.memory_fraction == pytest.approx(0.8)
+
+
+def test_registers_used_excludes_scalar_blocks():
+    assert make_program().registers_used() == {0, 1, 2}
+
+
+def test_validate_accepts_legal_registers():
+    make_program().validate(32)
+
+
+def test_validate_rejects_out_of_range():
+    prog = make_program()
+    prog.append(Instruction(op=Op.VADD, dst=40, srcs=(0, 1), vl=16))
+    with pytest.raises(ValueError):
+        prog.validate(32)
+
+
+def test_iteration_and_len():
+    prog = make_program()
+    assert len(prog) == 6
+    assert len(list(prog)) == 6
+    assert len(prog.vector_insts) == 5
+
+
+def test_describe_truncates():
+    text = make_program().describe(limit=2)
+    assert "more" in text

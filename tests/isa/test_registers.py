@@ -1,0 +1,33 @@
+"""Architectural register definitions."""
+
+import pytest
+
+from repro.isa.registers import NUM_LOGICAL_VREGS, VectorRegister, vreg_name
+
+
+def test_riscv_defines_32_vector_registers():
+    assert NUM_LOGICAL_VREGS == 32
+
+
+def test_vreg_names():
+    assert vreg_name(0) == "v0"
+    assert vreg_name(31) == "v31"
+
+
+@pytest.mark.parametrize("bad", [-1, 32, 100])
+def test_vreg_name_rejects_out_of_range(bad):
+    with pytest.raises(ValueError):
+        vreg_name(bad)
+
+
+def test_vector_register_value_object():
+    reg = VectorRegister(7)
+    assert reg.name == "v7"
+    assert str(reg) == "v7"
+    assert reg == VectorRegister(7)
+    assert reg != VectorRegister(8)
+
+
+def test_vector_register_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        VectorRegister(32)

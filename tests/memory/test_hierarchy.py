@@ -1,0 +1,69 @@
+"""Composed memory system and DRAM model."""
+
+from repro.memory.dram import Dram, DramConfig
+from repro.memory.hierarchy import MemorySystem, MemorySystemConfig
+
+
+def test_table2_defaults():
+    ms = MemorySystem()
+    assert ms.config.l1i.size_bytes == 32 * 1024
+    assert ms.config.l1d.size_bytes == 32 * 1024
+    assert ms.config.l2.size_bytes == 1024 * 1024
+    assert ms.config.l1d.latency == 4
+    assert ms.config.l2.latency == 12
+    assert ms.config.l2.line_bytes == 64  # 512-bit lines
+    assert ms.vector_first_latency == 12
+
+
+def test_dram_counters_and_latency():
+    dram = Dram(DramConfig(latency=80, line_transfer=4))
+    assert dram.read_line() == 84
+    assert dram.write_line() == 4
+    assert dram.accesses == 2
+    dram.reset()
+    assert dram.accesses == 0
+
+
+def test_vector_access_miss_then_hit():
+    ms = MemorySystem()
+    assert ms.vector_line_access(0x8000, write=False) is True  # cold miss
+    assert ms.vector_line_access(0x8000, write=False) is False
+    assert ms.dram.line_reads == 1
+
+
+def test_vector_write_allocates():
+    ms = MemorySystem()
+    assert ms.vector_line_access(0x9000, write=True) is True
+    assert ms.vector_line_access(0x9000, write=False) is False
+
+
+def test_scalar_read_latencies_stack():
+    ms = MemorySystem()
+    cold = ms.scalar_read(0x4000)
+    warm = ms.scalar_read(0x4000)
+    assert cold > ms.config.l1d.latency + ms.config.l2.latency
+    assert warm == ms.config.l1d.latency
+
+
+def test_fetch_uses_l1i():
+    ms = MemorySystem()
+    ms.fetch(0x100)
+    warm = ms.fetch(0x100)
+    assert warm == ms.config.l1i.latency
+    assert ms.l1i.stats.accesses == 2
+    assert ms.l1d.stats.accesses == 0
+
+
+def test_l1_and_vector_share_l2():
+    ms = MemorySystem()
+    ms.scalar_read(0x7000)  # brings the line into L2 as well
+    assert ms.vector_line_access(0x7000, write=False) is False
+
+
+def test_reset_stats():
+    ms = MemorySystem()
+    ms.vector_line_access(0x100, False)
+    ms.scalar_read(0x200)
+    ms.reset_stats()
+    assert ms.l2.stats.accesses == 0
+    assert ms.dram.accesses == 0

@@ -1,0 +1,53 @@
+"""Figure-5 floorplanner."""
+
+from repro import ava_config, native_config
+from repro.power.floorplan import build_floorplan
+
+
+def test_blocks_fit_inside_die():
+    plan = build_floorplan(ava_config(8))
+    for block in plan.blocks:
+        assert block.x >= -1e-6 and block.y >= -1e-6
+        assert block.x + block.width <= plan.die_width_um + 1e-6
+        assert block.y + block.height <= plan.die_height_um + 1e-6
+
+
+def test_die_area_matches_pnr_model():
+    from repro.power.physical import PhysicalDesignModel
+
+    for config in (ava_config(8), native_config(8)):
+        plan = build_floorplan(config)
+        pnr = PhysicalDesignModel().evaluate(config)
+        assert abs(plan.die_area_mm2 - pnr.area_mm2) < 0.01
+
+
+def test_eight_lanes_and_shared_blocks_placed():
+    plan = build_floorplan(native_config(8))
+    names = [b.name for b in plan.blocks]
+    assert sum(1 for n in names if n.startswith("lane")) == 8
+    for shared in ("VMU", "ROB", "IQ", "misc"):
+        assert shared in names
+
+
+def test_macros_sit_at_corners():
+    plan = build_floorplan(ava_config(8))
+    macros = [b for b in plan.blocks if b.name.startswith("VRF macro")]
+    assert len(macros) == 4
+    xs = sorted(b.x for b in macros)
+    assert xs[0] == 0.0  # left edge
+    assert xs[-1] > plan.die_width_um / 2  # right edge
+
+
+def test_wire_length_grows_with_macro_size():
+    """The §VII timing mechanism the WNS surrogate assumes."""
+    ava = build_floorplan(ava_config(8))
+    native = build_floorplan(native_config(8))
+    assert native.average_macro_lane_wire_um() > ava.average_macro_lane_wire_um()
+
+
+def test_ascii_art_renders_every_label():
+    plan = build_floorplan(ava_config(8))
+    art = plan.ascii_art(60, 20)
+    for label in "ABCDEFGH#M":
+        assert label in art
+    assert "lane 1" in plan.legend()

@@ -1,0 +1,40 @@
+"""Architectural golden model."""
+
+import numpy as np
+
+from repro import native_config
+from repro.sim.golden import GoldenExecutor
+from tests.conftest import axpy_body, compile_kernel
+
+
+def test_golden_executes_axpy():
+    config = native_config(1)
+    n = 64
+    program = compile_kernel(axpy_body(3.0), config, n, {"x": n, "y": n})
+    g = GoldenExecutor(config, program)
+    x = np.arange(n, dtype=float)
+    y = np.full(n, 2.0)
+    g.set_data("x", x)
+    g.set_data("y", y)
+    out = g.run()
+    assert np.allclose(out["y"], 3.0 * x + 2.0)
+
+
+def test_golden_records_destination_writes():
+    config = native_config(1)
+    program = compile_kernel(axpy_body(1.0), config, 16, {"x": 16, "y": 16})
+    g = GoldenExecutor(config, program)
+    g.set_data("x", np.ones(16))
+    g.set_data("y", np.ones(16))
+    g.run()
+    # Every load and arith instruction recorded its result.
+    vector_writers = [i for i in program.insts
+                      if not i.is_scalar and i.dst is not None]
+    assert set(g.writes) == {i.uid for i in vector_writers}
+
+
+def test_golden_uninitialised_registers_read_zero():
+    config = native_config(1)
+    g = GoldenExecutor(config, compile_kernel(
+        axpy_body(), config, 16, {"x": 16, "y": 16}))
+    assert np.allclose(g._read(7, 8), np.zeros(8))

@@ -1,0 +1,33 @@
+"""Timing parameters."""
+
+import pytest
+
+from repro.vpu.params import TimingParams
+
+
+def test_table2_structure():
+    p = TimingParams()
+    assert p.lanes == 8
+    assert p.arith_queue_depth == 32
+    assert p.mem_queue_depth == 32
+    assert p.scalar_clock_ratio == 2.0  # 2 GHz scalar vs 1 GHz VPU
+
+
+def test_arith_beats_rounding():
+    p = TimingParams()
+    assert p.arith_beats(16, 1.0) == 2
+    assert p.arith_beats(17, 1.0) == 3
+    assert p.arith_beats(1, 1.0) == 1
+    assert p.arith_beats(16, 4.0) == 8  # iterative divide
+
+
+def test_scalar_clock_conversion():
+    p = TimingParams()
+    assert p.scalar_to_vpu(6.0) == 3.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TimingParams(lanes=0)
+    with pytest.raises(ValueError):
+        TimingParams(scalar_clock_ratio=0)

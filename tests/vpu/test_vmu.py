@@ -1,0 +1,78 @@
+"""Vector Memory Unit access planning."""
+
+from repro.core.config import native_config
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.operands import data_ref
+from repro.isa.program import Program
+from repro.memory.hierarchy import MemorySystem
+from repro.sim.layout import MemoryLayout
+from repro.vpu.vmu import VectorMemoryUnit
+
+
+def make_vmu(n_elems=1024):
+    config = native_config(1)
+    program = Program(name="t", buffers={"x": n_elems}, mvl=16)
+    memsys = MemorySystem()
+    layout = MemoryLayout(program, config)
+    return VectorMemoryUnit(memsys, layout), memsys
+
+
+def unit_load(vl, base=0):
+    return Instruction(op=Op.VLE, dst=0, vl=vl, mem=data_ref("x", base))
+
+
+def test_unit_stride_beats_are_line_granular():
+    """512-bit interface: 8 x 64-bit elements per beat."""
+    vmu, _ = make_vmu()
+    assert vmu.plan(unit_load(16)).beats == 2
+    assert vmu.plan(unit_load(128, base=128)).beats == 16
+    assert vmu.plan(unit_load(8, base=512)).beats == 1
+
+
+def test_strided_access_costs_one_beat_per_element():
+    vmu, _ = make_vmu(4096)
+    inst = Instruction(op=Op.VLSE, dst=0, vl=16,
+                       mem=data_ref("x", 0, stride=9))
+    plan = vmu.plan(inst)
+    assert plan.beats == 16
+    assert plan.lines_touched > 2
+
+
+def test_indexed_access_costs_one_beat_per_element():
+    vmu, _ = make_vmu(4096)
+    inst = Instruction(op=Op.VLXE, dst=0, srcs=(1,), vl=16,
+                       mem=data_ref("x", 0, indexed=True))
+    assert vmu.plan(inst).beats == 16
+
+
+def test_cold_misses_split_bandwidth_and_latency():
+    vmu, memsys = make_vmu()
+    plan = vmu.plan(unit_load(16))
+    assert plan.misses == 2
+    assert plan.fill_beats == 2 * memsys.dram.config.line_transfer
+    assert plan.miss_latency == memsys.dram.config.latency
+    assert plan.occupancy == plan.beats + plan.fill_beats
+
+
+def test_warm_access_has_no_dram_cost():
+    vmu, _ = make_vmu()
+    vmu.plan(unit_load(16))
+    plan = vmu.plan(unit_load(16))
+    assert plan.misses == 0
+    assert plan.miss_latency == 0
+    assert plan.occupancy == plan.beats
+
+
+def test_store_allocates_lines():
+    vmu, memsys = make_vmu()
+    inst = Instruction(op=Op.VSE, srcs=(0,), vl=16, mem=data_ref("x"))
+    vmu.plan(inst)
+    assert memsys.l2.stats.write_misses == 2
+    plan = vmu.plan(inst)
+    assert plan.misses == 0
+
+
+def test_first_element_latency_is_l2_latency():
+    vmu, memsys = make_vmu()
+    assert vmu.first_element_latency == memsys.config.l2.latency

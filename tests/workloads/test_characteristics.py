@@ -1,0 +1,89 @@
+"""Workload characterisation: the paper-reported properties of each app.
+
+DESIGN.md §3 pins, for every application, the live register pressure, the
+first spilling LMUL configuration, and the instruction mix; these tests keep
+the kernels honest against those calibration targets.
+"""
+
+import pytest
+
+from repro import native_config, rg_config
+from repro.compiler.trace import body_pressure
+from repro.workloads import WORKLOAD_NAMES, all_workloads, get_workload
+
+#: (pressure band, first LMUL that spills or None, memory-fraction band)
+TARGETS = {
+    "axpy": ((2, 4), None, (0.70, 0.80)),
+    "blackscholes": ((17, 24), 2, (0.05, 0.20)),
+    "lavamd": ((9, 16), 4, (0.05, 0.15)),
+    "particlefilter": ((9, 16), 4, (0.15, 0.30)),
+    "somier": ((5, 8), 8, (0.38, 0.52)),
+    "swaptions": ((17, 24), 2, (0.08, 0.18)),
+}
+
+
+def test_registry_matches_table4():
+    assert WORKLOAD_NAMES == ["axpy", "blackscholes", "lavamd",
+                              "particlefilter", "somier", "swaptions"]
+    assert [w.name for w in all_workloads()] == WORKLOAD_NAMES
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(KeyError):
+        get_workload("doom")
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_live_pressure_band(name):
+    lo, hi = TARGETS[name][0]
+    pressure = body_pressure(get_workload(name).body)
+    assert lo <= pressure <= hi, f"{name}: pressure {pressure}"
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_spill_threshold_matches_paper(name):
+    """The paper reports which LMUL configuration first spills per app."""
+    first_spill = TARGETS[name][1]
+    workload = get_workload(name)
+    for lmul in (2, 4, 8):
+        alloc = workload.compile(rg_config(lmul)).allocation
+        if first_spill is None or lmul < first_spill:
+            assert alloc.spill_free, f"{name} spills at LMUL{lmul}"
+        else:
+            assert not alloc.spill_free, f"{name} clean at LMUL{lmul}"
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_instruction_mix_band(name):
+    lo, hi = TARGETS[name][2]
+    stats = get_workload(name).compile(native_config(1)).program.stats()
+    assert lo <= stats.memory_fraction <= hi
+
+
+def test_lavamd_fixed_avl():
+    """LavaMD2 always runs 48-element vectors (§V)."""
+    lavamd = get_workload("lavamd")
+    assert lavamd.fixed_avl == 48
+    assert lavamd.effective_vl(16) == 16
+    assert lavamd.effective_vl(64) == 48
+    assert lavamd.effective_vl(128) == 48
+
+
+def test_vla_workloads_track_mvl():
+    axpy = get_workload("axpy")
+    assert axpy.effective_vl(128) == 128
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_compile_produces_valid_programs(name):
+    workload = get_workload(name)
+    for cfg in (native_config(1), rg_config(8)):
+        compiled = workload.compile(cfg)
+        compiled.program.validate(cfg.n_logical)
+        assert compiled.program.meta["iterations"] >= 1
+
+
+def test_blackscholes_register_usage_near_paper():
+    """Paper: the compiler uses 23 logical registers for Blackscholes."""
+    alloc = get_workload("blackscholes").compile(native_config(1)).allocation
+    assert 17 <= alloc.registers_used <= 26

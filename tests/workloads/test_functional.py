@@ -1,0 +1,63 @@
+"""Functional correctness of every workload against its numpy oracle."""
+
+import numpy as np
+import pytest
+
+from repro import Simulator, ava_config, native_config, rg_config
+from repro.workloads import WORKLOAD_NAMES, get_workload
+
+#: One cheap and one adversarial configuration per run keeps this fast.
+CONFIGS = [native_config(1), ava_config(8), rg_config(4)]
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_workload_matches_oracle(name, config):
+    workload = get_workload(name)
+    compiled = workload.compile(config)
+    sim = Simulator(config, compiled.program, functional=True)
+    rng = np.random.default_rng(2024)
+    data = workload.init_data(rng)
+    for buffer, values in data.items():
+        sim.set_data(buffer, values)
+    sim.warm_caches()
+    result = sim.run()
+    for buffer, expected in workload.reference(data).items():
+        assert np.allclose(result.buffer(buffer), expected,
+                           rtol=1e-9, atol=1e-12), f"{name}/{buffer}"
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_results_identical_across_machines(name):
+    """The register-file organisation must be architecturally invisible."""
+    workload = get_workload(name)
+    rng = np.random.default_rng(7)
+    data = workload.init_data(rng)
+    outputs = []
+    for config in (native_config(2), ava_config(4)):
+        compiled = workload.compile(config)
+        sim = Simulator(config, compiled.program, functional=True)
+        for buffer, values in data.items():
+            sim.set_data(buffer, values)
+        result = sim.run()
+        outputs.append({b: result.buffer(b) for b in data})
+    for buffer in outputs[0]:
+        assert np.allclose(outputs[0][buffer], outputs[1][buffer],
+                           rtol=1e-12, atol=1e-14)
+
+
+def test_blackscholes_prices_are_sane():
+    """Beyond oracle equality: the finance is approximately right."""
+    workload = get_workload("blackscholes")
+    rng = np.random.default_rng(5)
+    data = workload.init_data(rng)
+    ref = workload.reference(data)
+    call, put = ref["call"], ref["put"]
+    spot, strike = data["spot"], data["strike"]
+    assert (call > -1e-6).all()
+    # Deep in-the-money calls are worth at least intrinsic-ish value.
+    itm = spot > strike * 1.2
+    assert (call[itm] > 0.5 * (spot - strike)[itm]).all()
+    # Put-call parity within the approximation error of the poly CND.
+    parity = call - put - (spot - strike * np.exp(-0.02 * data["expiry"]))
+    assert np.abs(parity).max() < 2.0

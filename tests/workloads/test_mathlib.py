@@ -1,0 +1,80 @@
+"""Shared polynomial math: accuracy of the open-coded transcendentals."""
+
+import numpy as np
+
+from repro.workloads.mathlib import (
+    CND_A,
+    CND_B,
+    NumpyMath,
+    cnd,
+    poly_exp,
+    poly_exp_small,
+    poly_ln,
+    rational_tanh,
+)
+
+M = NumpyMath()
+
+
+def test_poly_ln_accuracy_in_working_range():
+    q = np.linspace(0.6, 1.6, 200)
+    assert np.abs(poly_ln(M, q) - np.log(q)).max() < 2e-3
+
+
+def test_poly_exp_small_accuracy():
+    x = np.linspace(-0.5, 0.5, 200)
+    assert np.abs(poly_exp_small(M, x) - np.exp(x)).max() < 5e-4
+
+
+def test_poly_exp_wide_range_relative_error():
+    x = np.linspace(-6.0, 0.5, 200)
+    rel = np.abs(poly_exp(M, x) - np.exp(x)) / np.exp(x)
+    assert rel.max() < 0.05
+
+
+def test_rational_tanh_accuracy():
+    # The Padé(3,2) form peaks at ~2.4% absolute error near |y| = 1.5, which
+    # is the accuracy class the hand-vectorised kernels accept.
+    y = np.linspace(-3.0, 3.0, 200)
+    assert np.abs(rational_tanh(M, y) - np.tanh(y)).max() < 0.03
+
+
+def test_cnd_matches_normal_cdf():
+    from scipy.stats import norm
+
+    d = np.linspace(-3.0, 3.0, 200)
+    approx = cnd(M, d, CND_A, CND_B)
+    assert np.abs(approx - norm.cdf(d)).max() < 0.02
+
+
+def test_cnd_is_monotone_and_bounded():
+    d = np.linspace(-4.0, 4.0, 400)
+    values = cnd(M, d, CND_A, CND_B)
+    assert (np.diff(values) >= -1e-12).all()
+    assert values.min() > -0.05 and values.max() < 1.05
+
+
+def test_numpy_math_recip_handles_zero():
+    out = M.recip(np.array([2.0, 0.0]))
+    assert np.allclose(out, [0.5, 0.0])
+
+
+def test_builder_and_numpy_backends_agree():
+    """The same formula on both backends yields identical values."""
+    from repro import Simulator, native_config
+    from repro.isa.builder import KernelBuilder
+    from repro.workloads.mathlib import BuilderMath
+    from tests.conftest import compile_kernel
+
+    kb = KernelBuilder()
+    bm = BuilderMath(kb)
+    x = kb.load("x")
+    kb.store(poly_exp(bm, x * -1.0), "out")
+    config = native_config(1)
+    program = compile_kernel(kb.build(), config, 64, {"x": 64, "out": 64})
+    sim = Simulator(config, program, functional=True)
+    xs = np.linspace(0.1, 4.0, 64)
+    sim.set_data("x", xs)
+    result = sim.run()
+    assert np.allclose(result.buffer("out"), poly_exp(M, -xs),
+                       rtol=1e-12, atol=1e-14)
