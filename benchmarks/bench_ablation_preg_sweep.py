@@ -4,32 +4,32 @@ Table I fixes the P-reg count as floor(8 KB / MVL); this sweep asks what a
 *larger or smaller* P-VRF would buy at MVL=128 by overriding the register
 count on the swap-prone Blackscholes kernel.  It quantifies the paper's core
 trade: the 8 KB organisation (8 registers) loses some performance to swap
-traffic, which additional physical registers buy back with silicon.
+traffic, which additional physical registers buy back with silicon.  The
+register axis is a configuration grid on the engine sweep.
 """
 
 from _common import publish
 
 from repro.core.config import ava_config, with_physical_registers
+from repro.experiments.engine import CellExecutor, SweepSpec
 from repro.experiments.rendering import render_table
 from repro.power.sram import sram_area_mm2
-from repro.sim.simulator import Simulator
-from repro.workloads.registry import get_workload
 
 PREGS = (6, 8, 12, 16, 24, 32)
 
+SPEC = SweepSpec(
+    workloads=("blackscholes",),
+    configs=tuple(with_physical_registers(ava_config(8), n) for n in PREGS),
+)
 
-def _run(n_physical: int):
-    config = with_physical_registers(ava_config(8), n_physical)
-    workload = get_workload("blackscholes")
-    compiled = workload.compile(config)
-    sim = Simulator(config, compiled.program)
-    sim.warm_caches()
-    return sim.run().stats
+
+def _run_spec():
+    return CellExecutor().run_spec(SPEC)
 
 
 def test_ablation_preg_design_space(benchmark):
-    results = {n: _run(n) for n in PREGS}
-    benchmark.pedantic(_run, args=(8,), rounds=1, iterations=1)
+    cell_results = benchmark.pedantic(_run_spec, rounds=1, iterations=1)
+    results = {r.cell.config.n_physical: r.stats for r in cell_results}
 
     base = results[8]
     rows = []

@@ -3,7 +3,7 @@
 Table II fixes both queues at 32 entries.  This sweep shows the sensitivity:
 shallow queues throttle the decoupling between the memory and arithmetic
 pipelines, deep queues buy nothing once the window covers the memory
-latency.
+latency.  The depth axis is a timing-parameter grid on the engine sweep.
 """
 
 from dataclasses import replace
@@ -11,28 +11,28 @@ from dataclasses import replace
 from _common import publish
 
 from repro.core.config import ava_config
+from repro.experiments.engine import CellExecutor, SweepSpec
 from repro.experiments.rendering import render_table
-from repro.sim.simulator import Simulator
 from repro.vpu.params import TimingParams
-from repro.workloads.registry import get_workload
 
 DEPTHS = (2, 4, 8, 16, 32, 64)
 
+SPEC = SweepSpec(
+    workloads=("blackscholes",),
+    configs=(ava_config(4),),
+    params=tuple(replace(TimingParams(), arith_queue_depth=d,
+                         mem_queue_depth=d) for d in DEPTHS),
+)
 
-def _run(depth: int):
-    params = replace(TimingParams(), arith_queue_depth=depth,
-                     mem_queue_depth=depth)
-    workload = get_workload("blackscholes")
-    config = ava_config(4)
-    compiled = workload.compile(config)
-    sim = Simulator(config, compiled.program, params=params)
-    sim.warm_caches()
-    return sim.run().stats
+
+def _run_spec():
+    return CellExecutor().run_spec(SPEC)
 
 
 def test_ablation_queue_depth(benchmark):
-    results = {depth: _run(depth) for depth in DEPTHS}
-    benchmark.pedantic(_run, args=(32,), rounds=1, iterations=1)
+    cell_results = benchmark.pedantic(_run_spec, rounds=1, iterations=1)
+    results = {r.cell.params.arith_queue_depth: r.stats
+               for r in cell_results}
 
     rows = [[d, s.cycles, f"{results[32].cycles / s.cycles:.2f}",
              s.swap_insts] for d, s in results.items()]

@@ -3,41 +3,43 @@
 Without reclamation a physical register is only freed when its VVR returns
 to the FRL at commit; the paper argues reclamation lets "physical register
 usage closely match the true lifetime of registers".  Disabling it must
-increase swap traffic on the register-starved configurations.
+increase swap traffic on the register-starved configurations.  The
+(workload × reclamation) grid is a single engine sweep.
 """
 
 from _common import publish
 
 from repro.core.config import ava_config
+from repro.experiments.engine import CellExecutor, CellPolicy, SweepSpec
 from repro.experiments.rendering import render_table
-from repro.sim.simulator import Simulator
-from repro.workloads.registry import get_workload
+
+SPEC = SweepSpec(
+    workloads=("blackscholes", "swaptions"),
+    configs=(ava_config(8),),
+    policies=(CellPolicy(aggressive_reclamation=True),
+              CellPolicy(aggressive_reclamation=False)),
+)
 
 
-def _run(workload_name: str, reclamation: bool):
-    workload = get_workload(workload_name)
-    config = ava_config(8)
-    compiled = workload.compile(config)
-    sim = Simulator(config, compiled.program,
-                    aggressive_reclamation=reclamation)
-    sim.warm_caches()
-    return sim.run().stats
+def _run_spec():
+    return CellExecutor().run_spec(SPEC)
 
 
 def test_ablation_aggressive_reclamation(benchmark):
+    results = benchmark.pedantic(_run_spec, rounds=1, iterations=1)
+    stats = {(r.cell.workload_name, r.cell.policy.aggressive_reclamation):
+             r.stats for r in results}
+
     rows = []
-    results = {}
+    pairs = {}
     for name in ("blackscholes", "swaptions"):
-        on = _run(name, True)
-        off = _run(name, False)
-        results[name] = (on, off)
+        on, off = stats[(name, True)], stats[(name, False)]
+        pairs[name] = (on, off)
         rows.append([name, "on", on.cycles, on.swap_insts])
         rows.append([name, "off", off.cycles, off.swap_insts])
-    benchmark.pedantic(_run, args=("blackscholes", True),
-                       rounds=1, iterations=1)
     publish("ablation_reclamation", render_table(
         ["workload", "reclamation", "cycles", "swap ops"], rows))
 
-    for name, (on, off) in results.items():
+    for name, (on, off) in pairs.items():
         assert on.swap_insts <= off.swap_insts, name
         assert on.cycles <= 1.02 * off.cycles, name

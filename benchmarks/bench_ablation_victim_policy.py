@@ -3,32 +3,31 @@
 The paper's Swap Logic picks the resident VVR with the lowest positive RAC
 count.  This ablation replaces that policy with usage-blind alternatives on
 the swap-heaviest cell (Blackscholes at AVA X8) and regenerates the
-comparison, demonstrating why the RAC exists.
+comparison, demonstrating why the RAC exists.  The policy grid is pure
+data: a :class:`SweepSpec` over the engine's policy knob.
 """
 
-import numpy as np
 from _common import publish
 
 from repro.core.config import ava_config
 from repro.core.swap import VictimPolicy
+from repro.experiments.engine import CellExecutor, CellPolicy, SweepSpec
 from repro.experiments.rendering import render_table
-from repro.sim.simulator import Simulator
-from repro.workloads.registry import get_workload
+
+SPEC = SweepSpec(
+    workloads=("blackscholes",),
+    configs=(ava_config(8),),
+    policies=tuple(CellPolicy(victim_policy=p) for p in VictimPolicy),
+)
 
 
-def _run(policy: VictimPolicy):
-    workload = get_workload("blackscholes")
-    config = ava_config(8)
-    compiled = workload.compile(config)
-    sim = Simulator(config, compiled.program, victim_policy=policy)
-    sim.warm_caches()
-    return sim.run().stats
+def _run_spec():
+    return CellExecutor().run_spec(SPEC)
 
 
 def test_ablation_victim_policy(benchmark):
-    stats = {policy: _run(policy) for policy in VictimPolicy}
-    benchmark.pedantic(_run, args=(VictimPolicy.RAC_MIN,),
-                       rounds=1, iterations=1)
+    results = benchmark.pedantic(_run_spec, rounds=1, iterations=1)
+    stats = {r.cell.policy.victim_policy: r.stats for r in results}
 
     rows = [[policy.value, s.cycles, s.swap_loads, s.swap_stores]
             for policy, s in stats.items()]

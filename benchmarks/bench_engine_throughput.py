@@ -1,0 +1,88 @@
+"""Engine throughput: cells/second for serial, parallel and warm-cache runs.
+
+Tracks the experiment-execution engine itself so the perf trajectory
+(``BENCH_*.json``) can see regressions in the three execution paths:
+
+* **serial** — inline execution, no cache (the seed repo's behaviour);
+* **parallel** — the same grid fanned out over a process pool;
+* **warm cache** — the same grid replayed from the persistent result
+  cache (no simulations at all; the acceptance mode for re-rendering).
+"""
+
+import os
+import time
+
+from _common import publish
+
+from repro.core.config import ava_config, native_config
+from repro.experiments.engine import (CellExecutor, ResultCache, SweepSpec,
+                                      make_executor)
+from repro.experiments.rendering import render_table
+
+#: A small but non-trivial grid: 2 workloads x 4 configs = 8 cells.
+SPEC = SweepSpec(
+    workloads=("axpy", "blackscholes"),
+    configs=(native_config(1), ava_config(2), ava_config(4), ava_config(8)),
+)
+
+
+def _timed(executor: CellExecutor):
+    start = time.perf_counter()
+    results = executor.run_spec(SPEC)
+    return results, time.perf_counter() - start
+
+
+def test_engine_throughput(benchmark, tmp_path):
+    jobs = min(4, os.cpu_count() or 1)
+    cache_dir = tmp_path / "cache"
+
+    serial, t_serial = _timed(CellExecutor())
+    parallel, t_parallel = _timed(CellExecutor(jobs=jobs))
+    cold = make_executor(jobs=1, cache=True, cache_dir=cache_dir)
+    _, t_cold = _timed(cold)
+    warm = make_executor(jobs=1, cache=True, cache_dir=cache_dir)
+    warm_results, t_warm = _timed(warm)
+
+    # The benchmark-tracked number is the warm-cache replay path.
+    benchmark.pedantic(
+        lambda: make_executor(cache=True, cache_dir=cache_dir).run_spec(SPEC),
+        rounds=3, iterations=1)
+
+    n = len(SPEC.cells())
+    rows = [
+        ["serial (jobs=1)", f"{t_serial:.2f}", f"{n / t_serial:.2f}",
+         serial[0].from_cache],
+        [f"parallel (jobs={jobs})", f"{t_parallel:.2f}",
+         f"{n / t_parallel:.2f}", parallel[0].from_cache],
+        ["cold cache", f"{t_cold:.2f}", f"{n / t_cold:.2f}", False],
+        ["warm cache", f"{t_warm:.2f}", f"{n / t_warm:.2f}", True],
+    ]
+    publish("engine_throughput", render_table(
+        ["mode", "seconds", "cells/s", "from cache"], rows))
+
+    # Parallel scheduling must not change any result.
+    for a, b in zip(serial, parallel):
+        assert a.stats.to_dict() == b.stats.to_dict()
+    # The warm run replays every cell from the cache: zero simulations.
+    assert warm.stats.sims_executed == 0
+    assert warm.stats.cache_hits == n
+    assert all(r.from_cache for r in warm_results)
+    # Replay must agree with fresh execution bit-for-bit.
+    for a, b in zip(serial, warm_results):
+        assert a.stats.to_dict() == b.stats.to_dict()
+        assert a.energy.to_dict() == b.energy.to_dict()
+    # A cache served from RAM-backed disk should beat re-simulation easily.
+    assert t_warm < t_cold
+
+
+def test_engine_cache_persistence(tmp_path):
+    """A second executor over the same directory sees the first's results."""
+    cache_dir = tmp_path / "cache"
+    first = CellExecutor(cache=ResultCache(cache_dir))
+    first.run_spec(SPEC)
+    assert first.stats.sims_executed > 0
+
+    second = CellExecutor(cache=ResultCache(cache_dir))
+    second.run_spec(SPEC)
+    assert second.stats.sims_executed == 0
+    assert second.stats.cache_hits == len(SPEC.cells())

@@ -2,13 +2,14 @@
 
 from _common import publish
 
-from repro.experiments.figure3 import build_panel
-from repro.experiments.headline import check_headline_claims, render_claims
+from repro.experiments.engine import CellExecutor
+from repro.experiments.figure3 import build_panels
+from repro.experiments.headline import (CLAIM_WORKLOADS,
+                                        check_headline_claims, render_claims)
 
 
 def test_headline_claims(benchmark):
-    panels = {name: build_panel(name)
-              for name in ("axpy", "blackscholes", "lavamd")}
+    panels = build_panels(CLAIM_WORKLOADS, executor=CellExecutor())
     claims = benchmark.pedantic(check_headline_claims, args=(panels,),
                                 rounds=1, iterations=1)
     publish("headline_claims", render_claims(claims))

@@ -2,14 +2,19 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from _common import publish
 
+from repro.experiments.engine import CellExecutor
 from repro.experiments.figure3 import Figure3Panel, build_panel
 
 
-def regenerate_panel(benchmark, workload: str) -> Figure3Panel:
+def regenerate_panel(benchmark, workload: str,
+                     executor: Optional[CellExecutor] = None) -> Figure3Panel:
     """Time one full panel regeneration (all 14 bars) and publish it."""
     panel = benchmark.pedantic(build_panel, args=(workload,),
+                               kwargs={"executor": executor},
                                rounds=1, iterations=1)
     publish(f"figure3_{workload}", panel.render())
     return panel

@@ -6,49 +6,51 @@ The paper's LavaMD2 discussion (§V, §VI) highlights that AVA can select the
 AVA X3 the sweet spot — larger MVLs waste register width and burn energy on
 MVL-wide swap code, smaller ones need more instructions.
 
-This example sweeps every AVA reconfiguration for each application,
-reports the chosen configuration, and shows the performance and energy
-consequences — the "adaptable" in Adaptable Vector Architecture.
+This example declares the whole (application × AVA reconfiguration) grid
+as one engine sweep, runs it (in parallel with ``--jobs``, cached with
+``--cache-dir``), reports the chosen configuration, and shows the
+performance and energy consequences — the "adaptable" in Adaptable Vector
+Architecture.
 
-Run:  python examples/adaptive_mvl_selection.py
+Run:  python examples/adaptive_mvl_selection.py [--jobs N]
 """
 
-from repro import ava_config, Simulator
-from repro.core.config import SCALE_FACTORS
+import argparse
+
+from repro.core.config import SCALE_FACTORS, ava_config
+from repro.experiments.engine import SweepSpec, make_executor
 from repro.experiments.rendering import render_table
-from repro.power.mcpat import McPatModel
-from repro.workloads import all_workloads
+from repro.workloads import WORKLOAD_NAMES, get_workload
 
 
 def main() -> None:
-    mcpat = McPatModel()
-    rows = []
-    for workload in all_workloads():
-        best = None
-        base_cycles = None
-        sweep = []
-        for scale in SCALE_FACTORS:
-            config = ava_config(scale)
-            compiled = workload.compile(config)
-            sim = Simulator(config, compiled.program)
-            sim.warm_caches()
-            stats = sim.run().stats
-            energy = mcpat.energy(config, stats).total
-            if base_cycles is None:
-                base_cycles = stats.cycles
-            sweep.append((config, stats, energy))
-            if best is None or stats.cycles < best[1].cycles:
-                best = (config, stats, energy)
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--cache-dir", default=None,
+                        help="persist results under this directory")
+    args = parser.parse_args()
+    executor = make_executor(jobs=args.jobs,
+                             cache=args.cache_dir is not None,
+                             cache_dir=args.cache_dir or ".repro-cache")
 
-        assert best is not None and base_cycles is not None
-        config, stats, energy = best
+    spec = SweepSpec(workloads=WORKLOAD_NAMES,
+                     configs=[ava_config(s) for s in SCALE_FACTORS])
+    results = executor.run_spec(spec)
+
+    rows = []
+    for name, sweep in spec.chunk_by_workload(results):
+        base_cycles = sweep[0].stats.cycles
+        base_energy = sweep[0].energy.total
+        best = min(sweep, key=lambda r: r.stats.cycles)
+        workload = get_workload(name)
         rows.append([
-            workload.name,
-            f"AVL={workload.effective_vl(config.mvl)}",
-            config.name,
-            f"{base_cycles / stats.cycles:.2f}x",
-            stats.swap_insts,
-            f"{sweep[0][2] / energy:.2f}x" if energy else "-",
+            name,
+            f"AVL={workload.effective_vl(best.cell.config.mvl)}",
+            best.cell.config.name,
+            f"{base_cycles / best.stats.cycles:.2f}x",
+            best.stats.swap_insts,
+            f"{base_energy / best.energy.total:.2f}x"
+            if best.energy.total else "-",
         ])
 
     print(render_table(

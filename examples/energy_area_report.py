@@ -6,21 +6,34 @@ Generates, for the whole suite:
 * the McPAT-style component areas of every configuration and AVA's
   constant 1.126 mm² footprint,
 * a per-application energy comparison of the baseline vs AVA's best
-  reconfiguration,
+  reconfiguration — the (application × scale) grid runs as one engine
+  sweep, parallel with ``--jobs`` and shared with every other artifact
+  through the result cache,
 * the post-PnR summary (Table V) with the timing verdict.
 
-Run:  python examples/energy_area_report.py
+Run:  python examples/energy_area_report.py [--jobs N]
 """
 
-from repro import ava_config, native_config, Simulator
-from repro.core.config import SCALE_FACTORS
+import argparse
+
+from repro import ava_config, native_config
+from repro.core.config import BASE_MVL, SCALE_FACTORS
+from repro.experiments.engine import SweepSpec, make_executor
 from repro.experiments.rendering import render_table
 from repro.power.mcpat import McPatModel
 from repro.power.physical import PhysicalDesignModel
-from repro.workloads import all_workloads
+from repro.workloads import WORKLOAD_NAMES
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--cache-dir", default=None,
+                        help="persist results under this directory")
+    args = parser.parse_args()
+    executor = make_executor(jobs=args.jobs,
+                             cache=args.cache_dir is not None,
+                             cache_dir=args.cache_dir or ".repro-cache")
     mcpat = McPatModel()
 
     print("== silicon (Fig. 4) ==")
@@ -30,29 +43,24 @@ def main() -> None:
         rows.append([report.config_name, f"{report.vrf:.2f}",
                      f"{report.vpu:.3f}", f"{report.total:.2f}"])
     ava_report = mcpat.area(ava_config(8))
-    rows.append([f"AVA (any MVL)", f"{ava_report.vrf:.2f}",
+    rows.append(["AVA (any MVL)", f"{ava_report.vrf:.2f}",
                  f"{ava_report.vpu:.3f}", f"{ava_report.total:.2f}"])
     print(render_table(["config", "VRF mm2", "VPU mm2", "total mm2"], rows))
 
     print("\n== energy: baseline vs best AVA reconfiguration ==")
+    spec = SweepSpec(workloads=WORKLOAD_NAMES,
+                     configs=[ava_config(s) for s in SCALE_FACTORS])
+    results = executor.run_spec(spec)
     rows = []
-    for workload in all_workloads():
-        runs = {}
-        for scale in SCALE_FACTORS:
-            config = ava_config(scale)
-            sim = Simulator(config, workload.compile(config).program)
-            sim.warm_caches()
-            stats = sim.run().stats
-            runs[scale] = (stats, mcpat.energy(config, stats))
-        base_stats, base_energy = runs[1]
-        best_scale = min(runs, key=lambda s: runs[s][0].cycles)
-        best_stats, best_energy = runs[best_scale]
+    for name, sweep in spec.chunk_by_workload(results):
+        base = sweep[0]
+        best = min(sweep, key=lambda r: r.stats.cycles)
         rows.append([
-            workload.name, f"X{best_scale}",
-            f"{base_stats.cycles / best_stats.cycles:.2f}x",
-            f"{base_energy.total:,.0f}",
-            f"{best_energy.total:,.0f}",
-            f"{1 - best_energy.total / base_energy.total:+.0%}",
+            name, f"X{best.cell.config.mvl // BASE_MVL}",
+            f"{base.stats.cycles / best.stats.cycles:.2f}x",
+            f"{base.energy.total:,.0f}",
+            f"{best.energy.total:,.0f}",
+            f"{1 - best.energy.total / base.energy.total:+.0%}",
         ])
     print(render_table(
         ["application", "best", "speedup", "base nJ", "best nJ",

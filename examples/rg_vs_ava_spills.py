@@ -6,38 +6,46 @@ architectural registers*: at LMUL=8 the compiler has 4 registers and spills
 to memory with MVL-wide load/stores.  AVA keeps all 32 architectural
 registers and moves data between its two-level VRF in hardware instead.
 
-This example compiles the Blackscholes kernel (23 live registers) for the
-equivalent RG and AVA configurations and compares the resulting memory
-traffic and performance — reproducing the paper's §V argument that "AVA
-performs the scheduling based on the available physical registers, which
-are always double compared to LMUL".
+This example runs the Blackscholes kernel (23 live registers) across the
+equivalent RG and AVA configurations — one engine cell batch — and
+compares the resulting memory traffic and performance, reproducing the
+paper's §V argument that "AVA performs the scheduling based on the
+available physical registers, which are always double compared to LMUL".
 
-Run:  python examples/rg_vs_ava_spills.py
+Run:  python examples/rg_vs_ava_spills.py [--jobs N]
 """
 
-from repro import ava_config, rg_config, native_config, Simulator
+import argparse
+
+from repro import ava_config, native_config, rg_config
+from repro.experiments.engine import SweepSpec, make_executor
 from repro.experiments.rendering import render_table
 from repro.workloads import get_workload
 
+CONFIGS = (native_config(1), rg_config(2), ava_config(2),
+           rg_config(4), ava_config(4), rg_config(8), ava_config(8))
+
 
 def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--jobs", type=int, default=1)
+    args = parser.parse_args()
+    executor = make_executor(jobs=args.jobs)
+
     workload = get_workload("blackscholes")
     print(f"workload: {workload.describe()}")
-    baseline = None
+
+    results = executor.run_spec(
+        SweepSpec(workloads=("blackscholes",), configs=CONFIGS))
+    baseline = results[0].stats.cycles
 
     rows = []
-    for config in (native_config(1), rg_config(2), ava_config(2),
-                   rg_config(4), ava_config(4), rg_config(8), ava_config(8)):
-        compiled = workload.compile(config)
-        sim = Simulator(config, compiled.program)
-        sim.warm_caches()
-        stats = sim.run().stats
-        if baseline is None:
-            baseline = stats.cycles
+    for result in results:
+        stats = result.stats
+        config = result.cell.config
         rows.append([
             config.name,
-            f"{compiled.config.n_logical} arch / "
-            f"{compiled.config.n_physical} phys",
+            f"{config.n_logical} arch / {config.n_physical} phys",
             stats.spill_loads + stats.spill_stores,
             stats.swap_loads + stats.swap_stores,
             f"{stats.memory_fraction:.0%}",

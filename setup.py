@@ -1,4 +1,4 @@
-"""Setuptools shim (offline environments without the `wheel` package)."""
+"""Setuptools shim for legacy installs; metadata lives in pyproject.toml."""
 from setuptools import setup
 
 setup()

@@ -8,12 +8,24 @@ Artifacts:
 * ``figure4`` — areas and performance/mm²;
 * ``figure5`` — the two floorplans;
 * ``claims`` — every headline claim, paper vs measured.
+
+Simulation-backed artifacts (``figure3``, ``figure4``, ``claims``) run
+through the experiment-execution engine:
+
+* ``--jobs N`` fans independent cells out over N worker processes
+  (output is byte-identical to a serial run);
+* results persist in a content-addressed cache (``--cache-dir``,
+  default ``.repro-cache``) so re-rendering any artifact — or another
+  artifact sharing cells — is near-instant; ``--no-cache`` disables it;
+* ``--cache-stats`` prints hit/miss/simulation counters to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+from repro.experiments.engine import DEFAULT_CACHE_DIR, make_executor
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -26,7 +38,24 @@ def main(argv: list[str] | None = None) -> int:
                                  "claims"])
     parser.add_argument("workload", nargs="?", default="axpy",
                         help="application for figure3 (or 'all')")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes for simulation cells "
+                             "(default: 1, inline)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the result cache")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        metavar="DIR",
+                        help="result-cache directory "
+                             f"(default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--cache-stats", action="store_true",
+                        help="print engine cache/simulation counters "
+                             "to stderr")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    executor = make_executor(jobs=args.jobs, cache=not args.no_cache,
+                             cache_dir=args.cache_dir)
 
     if args.artifact == "table1":
         from repro.experiments.tables import render_table1
@@ -44,25 +73,30 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.tables import render_table5
         print(render_table5())
     elif args.artifact == "figure3":
-        from repro.experiments.figure3 import build_panel
+        from repro.experiments.figure3 import build_panels
         from repro.workloads import WORKLOAD_NAMES
         names = (WORKLOAD_NAMES if args.workload == "all"
                  else [args.workload])
+        unknown = [n for n in names if n not in WORKLOAD_NAMES]
+        if unknown:
+            parser.error(f"unknown workload {unknown[0]!r}; choose from "
+                         f"{', '.join(WORKLOAD_NAMES)} or 'all'")
+        panels = build_panels(names, executor=executor)
         for name in names:
-            print(build_panel(name).render())
+            print(panels[name].render())
     elif args.artifact == "figure4":
         from repro.experiments.figure4 import build_figure4
-        print(build_figure4().render())
+        print(build_figure4(executor=executor).render())
     elif args.artifact == "figure5":
         from repro.experiments.figure5 import render_figure5
         print(render_figure5())
     else:
-        from repro.experiments.figure3 import build_panel
         from repro.experiments.headline import (check_headline_claims,
                                                 render_claims)
-        panels = {name: build_panel(name)
-                  for name in ("axpy", "blackscholes", "lavamd")}
-        print(render_claims(check_headline_claims(panels)))
+        print(render_claims(check_headline_claims(executor=executor)))
+
+    if args.cache_stats:
+        print(executor.stats.summary(), file=sys.stderr)
     return 0
 
 

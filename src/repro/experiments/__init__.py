@@ -2,8 +2,11 @@
 
 * :mod:`repro.experiments.configs` — Tables II/III configuration matrix,
   Table IV application list;
-* :mod:`repro.experiments.runner` — runs (workload × configuration) cells
-  and decorates statistics with speedups and energy reports;
+* :mod:`repro.experiments.engine` — the unified execution engine: sweep
+  specs, the inline/parallel cell executor and the persistent
+  content-addressed result cache every artifact shares;
+* :mod:`repro.experiments.runner` — compatibility shim over the engine
+  that decorates statistics with speedups and energy reports;
 * :mod:`repro.experiments.figure3` — the six per-application panels
   (memory-instruction breakdown, instruction mix, execution time/speedup,
   energy);
@@ -21,6 +24,15 @@ from repro.experiments.configs import (
     ava_series,
     rg_series,
 )
+from repro.experiments.engine import (
+    Cell,
+    CellExecutor,
+    CellPolicy,
+    CellResult,
+    ResultCache,
+    SweepSpec,
+    make_executor,
+)
 from repro.experiments.runner import RunRecord, run_cell, run_series
 
 __all__ = [
@@ -28,6 +40,13 @@ __all__ = [
     "native_series",
     "ava_series",
     "rg_series",
+    "Cell",
+    "CellExecutor",
+    "CellPolicy",
+    "CellResult",
+    "ResultCache",
+    "SweepSpec",
+    "make_executor",
     "RunRecord",
     "run_cell",
     "run_series",

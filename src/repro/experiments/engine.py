@@ -1,0 +1,464 @@
+"""Unified experiment-execution engine.
+
+Every artifact of the paper boils down to a grid of independent
+(workload × configuration × timing-params × policy-knob) simulation
+*cells*.  This module makes that grid explicit and executes it once:
+
+* :class:`Cell` — one simulation, fully described by data
+  (what :func:`repro.experiments.runner.run_cell` used to take as loose
+  arguments);
+* :class:`SweepSpec` — a declarative grid that enumerates cells in a
+  deterministic order, so new sweeps are data, not new code;
+* :class:`ResultCache` — a persistent, content-addressed store of
+  :class:`repro.sim.stats.SimStats` / :class:`repro.power.mcpat.EnergyReport`
+  JSON under ``.repro-cache/``.  The key hashes the configuration fields,
+  the *compiled program* fingerprint, the timing parameters, the policy
+  knobs and :data:`DATA_SEED` — any change to any of them is a miss;
+* :class:`CellExecutor` — runs cells inline or fanned out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Results are keyed by
+  their position in the request, never by completion order, so the output
+  is byte-identical regardless of scheduling and of ``jobs``.
+
+The figure/table regenerators, the CLI, the benchmarks and the examples
+all route through here, so ``figure3 all``, ``figure4`` and ``claims``
+share cells instead of recomputing them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.config import MachineConfig, MachineMode
+from repro.core.swap import VictimPolicy
+from repro.isa.program import Program
+from repro.power.mcpat import EnergyReport, McPatModel
+from repro.sim.simulator import Simulator
+from repro.sim.stats import SimStats
+from repro.vpu.params import DEFAULT_TIMING, TimingParams
+from repro.workloads.base import Workload
+from repro.workloads.registry import get_workload
+
+#: Seed used by every experiment so figures are reproducible.  Part of the
+#: cache key: changing it invalidates every cached cell.
+DATA_SEED = 42
+
+#: Bump when the payload layout or the simulator's observable behaviour
+#: changes in a way the content hash cannot see.
+CACHE_SCHEMA = 1
+
+#: Default on-disk location of the persistent result cache.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+# ---------------------------------------------------------------------------
+# cell description
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CellPolicy:
+    """The simulator policy knobs the ablations sweep."""
+
+    victim_policy: VictimPolicy = VictimPolicy.RAC_MIN
+    aggressive_reclamation: bool = True
+
+    def to_key(self) -> dict:
+        return {"victim_policy": self.victim_policy.value,
+                "aggressive_reclamation": self.aggressive_reclamation}
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One (workload, configuration) simulation, fully described by data.
+
+    ``workload`` is normally a Table-IV registry name; passing a
+    :class:`~repro.workloads.base.Workload` instance is allowed for
+    out-of-registry kernels (the cache key hashes the compiled program, so
+    the name is never trusted on its own).
+    """
+
+    workload: Union[str, Workload]
+    config: MachineConfig
+    params: Optional[TimingParams] = None
+    policy: CellPolicy = CellPolicy()
+    functional: bool = False
+    warm: bool = True
+    check: bool = False
+
+    @property
+    def workload_name(self) -> str:
+        if isinstance(self.workload, str):
+            return self.workload
+        return self.workload.name
+
+    def label(self) -> str:
+        return f"{self.workload_name}@{self.config.name}"
+
+    def resolve_workload(self) -> Workload:
+        if isinstance(self.workload, str):
+            return get_workload(self.workload)
+        return self.workload
+
+
+@dataclass
+class SweepSpec:
+    """A declarative (workload × config × params × policy) grid.
+
+    :meth:`cells` enumerates the full cartesian product in a fixed nested
+    order — workload outermost, policy innermost — so a spec always expands
+    to the same cell list regardless of who runs it.
+    """
+
+    workloads: Sequence[Union[str, Workload]]
+    configs: Sequence[MachineConfig]
+    params: Sequence[Optional[TimingParams]] = (None,)
+    policies: Sequence[CellPolicy] = (CellPolicy(),)
+    functional: bool = False
+    warm: bool = True
+    check: bool = False
+
+    def cells(self) -> List[Cell]:
+        return [Cell(workload=w, config=cfg, params=p, policy=pol,
+                     functional=self.functional, warm=self.warm,
+                     check=self.check)
+                for w in self.workloads
+                for cfg in self.configs
+                for p in self.params
+                for pol in self.policies]
+
+    def __len__(self) -> int:
+        return (len(self.workloads) * len(self.configs) * len(self.params)
+                * len(self.policies))
+
+    def chunk_by_workload(self, results: Sequence["CellResult"]
+                          ) -> List[Tuple[str, List["CellResult"]]]:
+        """Split a :meth:`cells`-ordered result list per workload.
+
+        Owns the stride arithmetic (configs × params × policies), so
+        consumers stay correct if a spec grows extra axes.
+        """
+        stride = len(self.configs) * len(self.params) * len(self.policies)
+        if len(results) != stride * len(self.workloads):
+            raise ValueError(
+                f"expected {stride * len(self.workloads)} results for this "
+                f"spec, got {len(results)}")
+        return [(w if isinstance(w, str) else w.name,
+                 list(results[i * stride:(i + 1) * stride]))
+                for i, w in enumerate(self.workloads)]
+
+
+@dataclass
+class CellResult:
+    """Statistics, energy and (with ``check=True``) the correctness verdict."""
+
+    cell: Cell
+    stats: SimStats
+    energy: EnergyReport
+    correct: Optional[bool] = None
+    key: str = ""
+    from_cache: bool = False
+
+
+# ---------------------------------------------------------------------------
+# content hashing
+# ---------------------------------------------------------------------------
+_CODE_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Hash of every ``repro`` source file, computed once per process.
+
+    Part of the cache key: simulator/model behaviour lives in code, not in
+    the cell inputs, so ANY edit to the package must invalidate cached
+    results — a reproduction repo must never replay pre-change numbers as
+    freshly measured.  Conservative by design (editing a rendering helper
+    also invalidates), which errs on the side of re-simulating.
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        import repro
+        root = Path(repro.__file__).parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+        _CODE_FINGERPRINT = h.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+def program_fingerprint(program: Program) -> str:
+    """Content hash of a compiled program (instruction trace + shape).
+
+    Instruction uids are excluded — two compilations of the same kernel for
+    the same configuration fingerprint identically.  Scalar operands are
+    hashed via ``float.hex()`` (exact), not the 6-significant-digit display
+    form, so kernels differing only in a constant never collide.
+    """
+    h = hashlib.sha256()
+    h.update(f"{program.name}|mvl={program.mvl}"
+             f"|spill_slots={program.spill_slots}\n".encode())
+    for name in sorted(program.buffers):
+        h.update(f"buf {name}:{program.buffers[name]}\n".encode())
+    for inst in program.insts:
+        scalar = None if inst.scalar is None else float(inst.scalar).hex()
+        mem = inst.mem and (inst.mem.space.value, inst.mem.buffer,
+                            inst.mem.base_elem, inst.mem.stride,
+                            inst.mem.indexed)
+        h.update(f"{inst.op.value}|d={inst.dst}|s={inst.srcs}|f={scalar}"
+                 f"|vl={inst.vl}|mem={mem}|tag={inst.tag.value}\n".encode())
+    return h.hexdigest()
+
+
+def _config_key(config: MachineConfig) -> dict:
+    return {f.name: (getattr(config, f.name).value
+                     if isinstance(getattr(config, f.name), MachineMode)
+                     else getattr(config, f.name))
+            for f in fields(config)}
+
+
+def _params_key(params: Optional[TimingParams]) -> dict:
+    params = params or DEFAULT_TIMING
+    return {f.name: getattr(params, f.name) for f in fields(params)}
+
+
+def cell_key(cell: Cell, program: Program) -> str:
+    """The cache key: every input that can change the cell's results."""
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "code": code_fingerprint(),
+        "data_seed": DATA_SEED,
+        "workload": cell.workload_name,
+        "config": _config_key(cell.config),
+        "params": _params_key(cell.params),
+        "policy": cell.policy.to_key(),
+        "functional": cell.functional or cell.check,
+        "warm": cell.warm,
+        "check": cell.check,
+        "program": program_fingerprint(program),
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# persistent result cache
+# ---------------------------------------------------------------------------
+class ResultCache:
+    """Content-addressed JSON store for cell results.
+
+    One file per cell under ``root``; writes are atomic (tempfile +
+    ``os.replace``) so concurrent processes can share a cache directory.
+    """
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored payload, or None (corrupt entries are misses).
+
+        Corrupt includes structurally truncated entries: valid JSON that
+        lost its ``stats``/``energy`` sections must re-simulate, not crash
+        the render.
+        """
+        try:
+            payload = json.loads(self.path(key).read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("schema") != CACHE_SCHEMA:
+            return None
+        if not (isinstance(payload.get("stats"), dict)
+                and isinstance(payload.get("energy"), dict)):
+            return None
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, self.path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*.json"):
+                entry.unlink()
+                removed += 1
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# cell execution
+# ---------------------------------------------------------------------------
+def _execute_cell(job: Tuple[Cell, Program]) -> dict:
+    """Simulate and measure one pre-compiled cell; returns the cache payload.
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it; must stay
+    deterministic — everything it consumes is in the cell (plus
+    :data:`DATA_SEED`).  The program was already compiled by the executor
+    for key computation, so it is shipped rather than recompiled.
+    """
+    cell, program = job
+    workload = cell.resolve_workload()
+    functional = cell.functional or cell.check
+    sim = Simulator(cell.config, program, params=cell.params,
+                    functional=functional,
+                    victim_policy=cell.policy.victim_policy,
+                    aggressive_reclamation=cell.policy.aggressive_reclamation)
+    rng = np.random.default_rng(DATA_SEED)
+    data = workload.init_data(rng)
+    if functional:
+        for name, values in data.items():
+            sim.set_data(name, values)
+    if cell.warm:
+        sim.warm_caches()
+    result = sim.run()
+
+    correct: Optional[bool] = None
+    if cell.check:
+        reference = workload.reference(data)
+        correct = all(
+            bool(np.allclose(result.buffer(name), expected,
+                             rtol=1e-9, atol=1e-12))
+            for name, expected in reference.items())
+
+    energy = McPatModel().energy(cell.config, result.stats)
+    return {
+        "schema": CACHE_SCHEMA,
+        "label": cell.label(),
+        "stats": result.stats.to_dict(),
+        "energy": energy.to_dict(),
+        "correct": correct,
+    }
+
+
+@dataclass
+class ExecutorStats:
+    """Observable engine counters (the warm-cache acceptance check)."""
+
+    cells_requested: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    sims_executed: int = 0
+
+    def summary(self) -> str:
+        return (f"engine: {self.cells_requested} cells requested, "
+                f"{self.cache_hits} cache hits, "
+                f"{self.cache_misses} misses, "
+                f"{self.sims_executed} simulations executed")
+
+
+class CellExecutor:
+    """Runs cell batches inline or over a process pool, with caching.
+
+    ``jobs=1`` executes inline (no subprocess, no pickling); ``jobs>1``
+    fans misses out over a :class:`ProcessPoolExecutor`.  Identical cells
+    within a batch are simulated once.  Results always come back in
+    request order.
+    """
+
+    def __init__(self, jobs: int = 1,
+                 cache: Optional[ResultCache] = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.stats = ExecutorStats()
+
+    # -- public API ------------------------------------------------------------
+    def run(self, cells: Sequence[Cell]) -> List[CellResult]:
+        """Execute a batch; element ``i`` of the result matches ``cells[i]``."""
+        self.stats.cells_requested += len(cells)
+        # Compile once per cell: the program feeds both the cache key and
+        # (for misses) the simulation itself.
+        programs = [cell.resolve_workload().compile(cell.config).program
+                    for cell in cells]
+        keys = [cell_key(cell, program)
+                for cell, program in zip(cells, programs)]
+
+        results: Dict[int, CellResult] = {}
+        pending: List[int] = []
+        for i, (cell, key) in enumerate(zip(cells, keys)):
+            payload = self.cache.get(key) if self.cache else None
+            if payload is not None:
+                self.stats.cache_hits += 1
+                results[i] = self._materialise(cell, key, payload,
+                                               from_cache=True)
+            else:
+                if self.cache is not None:
+                    self.stats.cache_misses += 1
+                pending.append(i)
+
+        if pending:
+            # Dedupe identical cells inside the batch: one simulation each.
+            by_key: Dict[str, List[int]] = {}
+            for i in pending:
+                by_key.setdefault(keys[i], []).append(i)
+            unique = [(key, indices[0]) for key, indices in by_key.items()]
+            payloads = self._simulate([(cells[i], programs[i])
+                                       for _, i in unique])
+            self.stats.sims_executed += len(unique)
+            for (key, _), payload in zip(unique, payloads):
+                if self.cache is not None:
+                    self.cache.put(key, payload)
+                for i in by_key[key]:
+                    results[i] = self._materialise(cells[i], key, payload,
+                                                   from_cache=False)
+        return [results[i] for i in range(len(cells))]
+
+    def run_spec(self, spec: SweepSpec) -> List[CellResult]:
+        """Expand a sweep spec and execute its grid."""
+        return self.run(spec.cells())
+
+    def run_one(self, cell: Cell) -> CellResult:
+        return self.run([cell])[0]
+
+    # -- internals -------------------------------------------------------------
+    def _simulate(self, jobs_list: List[Tuple[Cell, Program]]) -> List[dict]:
+        if self.jobs == 1 or len(jobs_list) == 1:
+            return [_execute_cell(job) for job in jobs_list]
+        workers = min(self.jobs, len(jobs_list))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_execute_cell, jobs_list))
+
+    @staticmethod
+    def _materialise(cell: Cell, key: str, payload: dict,
+                     from_cache: bool) -> CellResult:
+        return CellResult(
+            cell=cell,
+            stats=SimStats.from_dict(payload["stats"]),
+            energy=EnergyReport.from_dict(payload["energy"]),
+            correct=payload.get("correct"),
+            key=key,
+            from_cache=from_cache,
+        )
+
+
+def make_executor(jobs: int = 1, cache: bool = False,
+                  cache_dir: Union[str, Path] = DEFAULT_CACHE_DIR
+                  ) -> CellExecutor:
+    """Build an executor from the CLI-style knobs (--jobs / --no-cache /
+    --cache-dir)."""
+    return CellExecutor(jobs=jobs,
+                        cache=ResultCache(cache_dir) if cache else None)

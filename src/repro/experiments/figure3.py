@@ -13,14 +13,14 @@ For one application the panel contains, like the paper's rows:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.configs import figure3_series
+from repro.experiments.engine import CellExecutor, SweepSpec
 from repro.experiments.rendering import render_bars, render_table
-from repro.experiments.runner import RunRecord, run_series
+from repro.experiments.runner import (RunRecord, fill_speedups,
+                                      record_from_result)
 from repro.vpu.params import TimingParams
-from repro.workloads.base import Workload
-from repro.workloads.registry import get_workload
 
 
 @dataclass
@@ -93,11 +93,34 @@ class Figure3Panel:
         raise KeyError(config_name)
 
 
+def build_panels(workload_names: Sequence[str],
+                 params: Optional[TimingParams] = None,
+                 check: bool = False,
+                 executor: Optional[CellExecutor] = None
+                 ) -> Dict[str, Figure3Panel]:
+    """Run the Fig. 3 grid for several applications as ONE cell batch.
+
+    Batching lets a parallel executor fan every (workload × configuration)
+    cell out at once instead of panel by panel; results come back in grid
+    order, so rendering is identical to the serial path.
+    """
+    executor = executor or CellExecutor()
+    spec = SweepSpec(workloads=list(workload_names), configs=figure3_series(),
+                     params=(params,), check=check)
+    results = executor.run_spec(spec)
+
+    panels: Dict[str, Figure3Panel] = {}
+    for name, chunk in spec.chunk_by_workload(results):
+        records = fill_speedups([record_from_result(r) for r in chunk],
+                                baseline_index=0)
+        panels[name] = Figure3Panel(workload=name, records=records)
+    return panels
+
+
 def build_panel(workload_name: str,
                 params: Optional[TimingParams] = None,
-                check: bool = False) -> Figure3Panel:
+                check: bool = False,
+                executor: Optional[CellExecutor] = None) -> Figure3Panel:
     """Run all Fig. 3 bars for one application."""
-    workload: Workload = get_workload(workload_name)
-    records = run_series(workload, figure3_series(), baseline_index=0,
-                         params=params, check=check)
-    return Figure3Panel(workload=workload_name, records=records)
+    return build_panels([workload_name], params=params, check=check,
+                        executor=executor)[workload_name]

@@ -13,11 +13,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.config import SCALE_FACTORS, ava_config, native_config
+from repro.experiments.engine import CellExecutor, SweepSpec
 from repro.experiments.rendering import render_table
-from repro.experiments.runner import RunRecord, run_series
+from repro.experiments.runner import (RunRecord, fill_speedups,
+                                      record_from_result)
 from repro.power.mcpat import AreaReport, McPatModel
 from repro.vpu.params import TimingParams
-from repro.workloads.registry import all_workloads
+from repro.workloads.registry import WORKLOAD_NAMES
 
 
 @dataclass
@@ -79,19 +81,25 @@ class Figure4:
 
 
 def build_figure4(params: Optional[TimingParams] = None,
-                  per_workload: Optional[Dict[str, List[RunRecord]]] = None
-                  ) -> Figure4:
+                  per_workload: Optional[Dict[str, List[RunRecord]]] = None,
+                  executor: Optional[CellExecutor] = None) -> Figure4:
     """Compute Fig. 4; re-runs the six applications unless records given."""
     mcpat = McPatModel()
     native_cfgs = [native_config(s) for s in SCALE_FACTORS]
     ava_cfgs = [ava_config(s) for s in SCALE_FACTORS]
 
     if per_workload is None:
-        per_workload = {}
-        for workload in all_workloads():
-            per_workload[workload.name] = run_series(
-                workload, native_cfgs + ava_cfgs, baseline_index=0,
-                params=params)
+        # One batch over the whole (workload × configuration) grid; a
+        # parallel executor fans all 60 cells out at once, and every cell
+        # is shared with figure3/claims through the result cache.
+        executor = executor or CellExecutor()
+        spec = SweepSpec(workloads=WORKLOAD_NAMES,
+                         configs=native_cfgs + ava_cfgs, params=(params,))
+        results = executor.run_spec(spec)
+        per_workload = {
+            name: fill_speedups([record_from_result(r) for r in chunk],
+                                baseline_index=0)
+            for name, chunk in spec.chunk_by_workload(results)}
 
     n = len(SCALE_FACTORS)
     avg_native = [

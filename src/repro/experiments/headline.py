@@ -20,9 +20,13 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.config import ava_config, native_config
-from repro.experiments.figure3 import Figure3Panel, build_panel
+from repro.experiments.engine import CellExecutor
+from repro.experiments.figure3 import Figure3Panel, build_panels
 from repro.experiments.rendering import render_table
 from repro.power.physical import PhysicalDesignModel
+
+#: The three applications the headline claims simulate.
+CLAIM_WORKLOADS = ("axpy", "blackscholes", "lavamd")
 
 
 @dataclass
@@ -36,11 +40,15 @@ class Claim:
 
 
 def check_headline_claims(
-        panels: Optional[dict[str, Figure3Panel]] = None) -> List[Claim]:
-    """Evaluate every headline claim; reuses panels if provided."""
+        panels: Optional[dict[str, Figure3Panel]] = None,
+        executor: Optional[CellExecutor] = None) -> List[Claim]:
+    """Evaluate every headline claim; reuses panels if provided.
+
+    Without precomputed panels the three applications run as one engine
+    batch — with a cache-backed executor they are shared with ``figure3``.
+    """
     if panels is None:
-        panels = {name: build_panel(name)
-                  for name in ("axpy", "blackscholes", "lavamd")}
+        panels = build_panels(CLAIM_WORKLOADS, executor=executor)
     claims: List[Claim] = []
 
     axpy = panels["axpy"]

@@ -1,4 +1,11 @@
-"""Run (workload × configuration) cells and decorate the results."""
+"""Compatibility shim over :mod:`repro.experiments.engine`.
+
+The original harness ran each (workload × configuration) cell through a
+hand-rolled serial loop here.  Execution now lives in the engine — this
+module keeps the historical API (:func:`run_cell`, :func:`run_series`,
+:class:`RunRecord`) as thin wrappers so callers and tests keep working,
+and gains an optional ``executor`` argument for parallel/cached runs.
+"""
 
 from __future__ import annotations
 
@@ -8,14 +15,12 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.core.config import MachineConfig
+from repro.experiments.engine import DATA_SEED  # noqa: F401  (re-export)
+from repro.experiments.engine import Cell, CellExecutor, CellResult
 from repro.power.mcpat import EnergyReport, McPatModel
-from repro.sim.simulator import Simulator
 from repro.sim.stats import SimStats
 from repro.vpu.params import TimingParams
 from repro.workloads.base import Workload
-
-#: Seed used by every experiment so figures are reproducible.
-DATA_SEED = 42
 
 
 @dataclass
@@ -33,57 +38,57 @@ class RunRecord:
         return self.stats.cycles
 
 
+def record_from_result(result: CellResult) -> RunRecord:
+    """Adapt an engine result to the historical record type."""
+    return RunRecord(config=result.cell.config, stats=result.stats,
+                     energy=result.energy, correct=result.correct)
+
+
+def fill_speedups(records: List[RunRecord],
+                  baseline_index: int = 0) -> List[RunRecord]:
+    """Decorate records with speedups vs the baseline entry, in place."""
+    base_cycles = records[baseline_index].cycles
+    for record in records:
+        record.speedup = base_cycles / record.cycles if record.cycles else 0.0
+    return records
+
+
 def run_cell(workload: Workload, config: MachineConfig,
              params: Optional[TimingParams] = None,
              functional: bool = False,
              warm: bool = True,
              check: bool = False,
-             mcpat: Optional[McPatModel] = None) -> RunRecord:
+             mcpat: Optional[McPatModel] = None,
+             executor: Optional[CellExecutor] = None) -> RunRecord:
     """Simulate one workload on one configuration.
 
     ``check=True`` forces functional mode and verifies the output buffers
     against the workload's numpy oracle.
     """
-    functional = functional or check
-    compiled = workload.compile(config)
-    sim = Simulator(config, compiled.program, params=params,
-                    functional=functional)
-    rng = np.random.default_rng(DATA_SEED)
-    data = workload.init_data(rng)
-    if functional:
-        for name, values in data.items():
-            sim.set_data(name, values)
-    if warm:
-        sim.warm_caches()
-    result = sim.run()
-
-    correct: Optional[bool] = None
-    if check:
-        reference = workload.reference(data)
-        correct = all(
-            bool(np.allclose(result.buffer(name), expected,
-                             rtol=1e-9, atol=1e-12))
-            for name, expected in reference.items())
-
-    model = mcpat or McPatModel()
-    energy = model.energy(config, result.stats)
-    return RunRecord(config=config, stats=result.stats, energy=energy,
-                     correct=correct)
+    executor = executor or CellExecutor()
+    result = executor.run_one(Cell(
+        workload=workload, config=config, params=params,
+        functional=functional, warm=warm, check=check))
+    record = record_from_result(result)
+    if mcpat is not None:
+        # Honour a caller-supplied energy model (the engine used the
+        # default); deterministic models produce identical reports.
+        record.energy = mcpat.energy(config, record.stats)
+    return record
 
 
 def run_series(workload: Workload, configs: List[MachineConfig],
                baseline_index: int = 0,
                params: Optional[TimingParams] = None,
-               check: bool = False) -> List[RunRecord]:
+               check: bool = False,
+               executor: Optional[CellExecutor] = None) -> List[RunRecord]:
     """Run a configuration series and fill in speedups vs the baseline."""
-    mcpat = McPatModel()
-    records = [run_cell(workload, cfg, params=params, check=check,
-                        mcpat=mcpat)
-               for cfg in configs]
-    base_cycles = records[baseline_index].cycles
-    for record in records:
-        record.speedup = base_cycles / record.cycles if record.cycles else 0.0
-    return records
+    executor = executor or CellExecutor()
+    results = executor.run([Cell(workload=workload, config=cfg,
+                                 params=params, check=check)
+                            for cfg in configs])
+    return fill_speedups([record_from_result(r) for r in results],
+                         baseline_index)
 
 
 def average_speedups(per_workload: Dict[str, List[RunRecord]]) -> List[float]:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.core.config import ava_config, native_config, table1_rows
 from repro.experiments.configs import equivalence_rows, table2_rows
@@ -35,16 +35,18 @@ def render_table4() -> str:
     return render_table(["Application", "Domain", "Algorithmic Model"], rows)
 
 
-def table5_results() -> List[PnrResult]:
+def table5_results(model: Optional[PhysicalDesignModel] = None
+                   ) -> List[PnrResult]:
     """Table V rows (NATIVE X8 and AVA), plus extrapolated NATIVE X2–X4."""
-    model = PhysicalDesignModel()
+    model = model or PhysicalDesignModel()
     configs = [native_config(8), ava_config(8),
                native_config(2), native_config(3), native_config(4)]
     return [model.evaluate(cfg) for cfg in configs]
 
 
 def render_table5() -> str:
-    results = table5_results()
+    model = PhysicalDesignModel()
+    results = table5_results(model)
     rows = []
     for r in results:
         rows.append([r.config_name, f"{r.wns_ns:+.3f}", f"{r.power_mw:.0f}",
@@ -52,7 +54,6 @@ def render_table5() -> str:
                      f"{r.vrf_macro_power_mw:.0f}/{r.vrf_macro_area_mm2:.3f}",
                      f"{r.ava_structs_power_mw:.3f}/"
                      f"{r.ava_structs_area_mm2:.4f}"])
-    model = PhysicalDesignModel()
     reduction = model.area_reduction_vs(ava_config(8), native_config(8))
     return (render_table(
         ["config", "WNS (ns)", "Power (mW)", "Area (mm2)", "Density",

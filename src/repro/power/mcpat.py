@@ -12,7 +12,7 @@ Reproduces the two McPAT products the paper uses:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.core.config import MachineConfig, MachineMode
 from repro.power.sram import sram_access_energy_pj, sram_area_mm2, sram_leakage_mw
@@ -91,6 +91,20 @@ class EnergyReport:
             ("FPU dynamic", self.fpu_dynamic),
             ("FPU leakage", self.fpu_leakage),
         ]
+
+    # -- serialisation ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe mapping (floats round-trip exactly through json)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnergyReport":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown EnergyReport fields: {sorted(unknown)}")
+        return cls(**data)
 
 
 class McPatModel:

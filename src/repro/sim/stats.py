@@ -14,7 +14,7 @@ The mapping onto Figure 3:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 #: VPU clock (Table II).
 VPU_HZ = 1_000_000_000
@@ -105,6 +105,22 @@ class SimStats:
     @property
     def mem_utilisation(self) -> float:
         return self.mem_busy_cycles / self.cycles if self.cycles else 0.0
+
+    # -- serialisation ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe mapping of every counter (derived values excluded)."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["meta"] = dict(self.meta)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimStats":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown SimStats fields: {sorted(unknown)}")
+        return cls(**data)
 
     def summary(self) -> str:
         return (

@@ -5,25 +5,52 @@ import pytest
 from repro.__main__ import main
 
 
-def test_table_artifacts(capsys):
+@pytest.fixture
+def cache_args(tmp_path):
+    """Point the CLI's result cache at a throwaway directory."""
+    return ["--cache-dir", str(tmp_path / "cache")]
+
+
+def test_table_artifacts(capsys, cache_args):
     for artifact, marker in (("table1", "P-Regs"), ("table2", "NATIVE X8"),
                              ("table3", "RG-LMUL8"), ("table4", "somier"),
                              ("table5", "WNS")):
-        assert main([artifact]) == 0
+        assert main([artifact] + cache_args) == 0
         assert marker in capsys.readouterr().out
 
 
-def test_figure5_artifact(capsys):
-    assert main(["figure5"]) == 0
+def test_figure5_artifact(capsys, cache_args):
+    assert main(["figure5"] + cache_args) == 0
     out = capsys.readouterr().out
     assert "floorplans" in out and "lane" in out
 
 
-def test_figure3_single_app(capsys):
-    assert main(["figure3", "axpy"]) == 0
+def test_figure3_single_app(capsys, cache_args):
+    assert main(["figure3", "axpy"] + cache_args) == 0
     out = capsys.readouterr().out
     assert "Figure 3 panel: axpy" in out
     assert "Swap-L" in out
+
+
+def test_figure3_no_cache_flag(capsys, tmp_path):
+    cache_dir = tmp_path / "cache"
+    assert main(["figure3", "axpy", "--no-cache",
+                 "--cache-dir", str(cache_dir)]) == 0
+    assert "Figure 3 panel: axpy" in capsys.readouterr().out
+    assert not cache_dir.exists()  # --no-cache must not touch the disk
+
+
+def test_figure3_warm_cache_skips_simulation(capsys, cache_args):
+    assert main(["figure3", "axpy", "--cache-stats"] + cache_args) == 0
+    first = capsys.readouterr()
+    assert "14 simulations executed" in first.err
+
+    assert main(["figure3", "axpy", "--cache-stats"] + cache_args) == 0
+    second = capsys.readouterr()
+    assert "Figure 3 panel: axpy" in second.out
+    assert second.out == first.out  # cache replay is byte-identical
+    assert "14 cache hits" in second.err
+    assert "0 simulations executed" in second.err
 
 
 def test_unknown_artifact_rejected():

@@ -1,0 +1,238 @@
+"""The unified experiment-execution engine: specs, cache, executor."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import ava_config, native_config
+from repro.core.swap import VictimPolicy
+from repro.experiments.engine import (
+    Cell,
+    CellExecutor,
+    CellPolicy,
+    ResultCache,
+    SweepSpec,
+    cell_key,
+    make_executor,
+    program_fingerprint,
+)
+from repro.power.mcpat import EnergyReport, McPatModel
+from repro.sim.stats import SimStats
+from repro.vpu.params import TimingParams
+from repro.workloads import get_workload
+
+
+def _key(cell: Cell) -> str:
+    program = cell.resolve_workload().compile(cell.config).program
+    return cell_key(cell, program)
+
+
+# ---------------------------------------------------------------------------
+# sweep specs
+# ---------------------------------------------------------------------------
+def test_sweep_spec_enumerates_full_grid_deterministically():
+    spec = SweepSpec(
+        workloads=("axpy", "blackscholes"),
+        configs=(native_config(1), ava_config(8)),
+        policies=(CellPolicy(), CellPolicy(aggressive_reclamation=False)),
+    )
+    cells = spec.cells()
+    assert len(cells) == len(spec) == 8
+    # Workload outermost, policy innermost, always the same order.
+    assert cells[0].workload_name == "axpy"
+    assert cells[-1].workload_name == "blackscholes"
+    assert cells == spec.cells()
+
+
+def test_chunk_by_workload_owns_the_stride_arithmetic():
+    spec = SweepSpec(
+        workloads=("axpy", "blackscholes"),
+        configs=(native_config(1),),
+        policies=(CellPolicy(), CellPolicy(aggressive_reclamation=False)),
+    )
+    chunks = spec.chunk_by_workload(spec.cells())
+    assert [name for name, _ in chunks] == ["axpy", "blackscholes"]
+    assert all(len(chunk) == 2 for _, chunk in chunks)
+    assert all(c.workload_name == name
+               for name, chunk in chunks for c in chunk)
+    with pytest.raises(ValueError):
+        spec.chunk_by_workload(spec.cells()[:-1])
+
+
+# ---------------------------------------------------------------------------
+# cache keying
+# ---------------------------------------------------------------------------
+def test_cell_key_is_stable_across_recompiles():
+    cell = Cell(workload="axpy", config=native_config(1))
+    assert _key(cell) == _key(cell)
+
+
+def test_cell_key_misses_on_any_input_change():
+    base = Cell(workload="axpy", config=ava_config(8))
+    variants = [
+        Cell(workload="axpy", config=ava_config(4)),  # config field
+        Cell(workload="blackscholes", config=ava_config(8)),  # program
+        replace(base, params=replace(TimingParams(), arith_dead_time=4)),
+        replace(base, policy=CellPolicy(victim_policy=VictimPolicy.FIFO)),
+        replace(base, policy=CellPolicy(aggressive_reclamation=False)),
+        replace(base, check=True),
+        replace(base, warm=False),
+    ]
+    keys = [_key(v) for v in variants]
+    assert len(set(keys + [_key(base)])) == len(variants) + 1
+
+
+def test_cell_key_includes_the_code_fingerprint(monkeypatch):
+    """A package source edit must invalidate every cached result."""
+    import repro.experiments.engine as engine
+
+    cell = Cell(workload="axpy", config=native_config(1))
+    before = _key(cell)
+    monkeypatch.setattr(engine, "_CODE_FINGERPRINT", "simulated-code-edit")
+    assert _key(cell) != before
+
+
+def test_program_fingerprint_ignores_instruction_uids():
+    workload = get_workload("axpy")
+    config = native_config(1)
+    first = workload.compile(config).program
+    second = get_workload("axpy").compile(config).program
+    assert [i.uid for i in first.insts] != [i.uid for i in second.insts]
+    assert program_fingerprint(first) == program_fingerprint(second)
+
+
+# ---------------------------------------------------------------------------
+# JSON round-trips
+# ---------------------------------------------------------------------------
+def test_simstats_roundtrip():
+    stats = SimStats(cycles=123, vloads=4, swap_loads=2, config_name="c",
+                     program_name="p", meta={"k": 1})
+    assert SimStats.from_dict(stats.to_dict()) == stats
+    with pytest.raises(ValueError):
+        SimStats.from_dict({"cycles": 1, "bogus": 2})
+
+
+def test_energy_report_roundtrip_is_exact():
+    stats = SimStats(cycles=1000, l2_reads=10, vrf_reads=20,
+                     fpu_element_ops=30)
+    report = McPatModel().energy(ava_config(8), stats)
+    clone = EnergyReport.from_dict(report.to_dict())
+    assert clone == report  # float-exact, not approximate
+    with pytest.raises(ValueError):
+        EnergyReport.from_dict({**report.to_dict(), "bogus": 1.0})
+
+
+# ---------------------------------------------------------------------------
+# cache behaviour
+# ---------------------------------------------------------------------------
+def test_cache_hit_and_miss_counters(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cell = Cell(workload="axpy", config=native_config(1))
+
+    cold = CellExecutor(cache=cache)
+    first = cold.run_one(cell)
+    assert cold.stats.sims_executed == 1
+    assert cold.stats.cache_misses == 1
+    assert not first.from_cache
+
+    warm = CellExecutor(cache=ResultCache(tmp_path / "cache"))
+    second = warm.run_one(cell)
+    assert warm.stats.sims_executed == 0
+    assert warm.stats.cache_hits == 1
+    assert second.from_cache
+    assert second.stats == first.stats
+    assert second.energy == first.energy
+
+
+def test_changed_knob_is_a_cache_miss(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    executor = CellExecutor(cache=cache)
+    executor.run_one(Cell(workload="axpy", config=native_config(1)))
+    executor.run_one(Cell(workload="axpy", config=native_config(1),
+                          policy=CellPolicy(aggressive_reclamation=False)))
+    assert executor.stats.sims_executed == 2
+    assert executor.stats.cache_hits == 0
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    executor = CellExecutor(cache=cache)
+    result = executor.run_one(Cell(workload="axpy", config=native_config(1)))
+    # Both syntactically broken and structurally truncated entries must
+    # re-simulate, never crash the render.
+    for corruption in ("{not json", '{"schema": 1}', '[1, 2]'):
+        cache.path(result.key).write_text(corruption)
+        rerun = CellExecutor(cache=ResultCache(tmp_path / "cache"))
+        again = rerun.run_one(result.cell)
+        assert rerun.stats.sims_executed == 1
+        assert again.stats == result.stats
+
+
+def test_program_fingerprint_sees_tiny_scalar_differences():
+    """Constants differing past 6 significant digits must not collide."""
+    from tests.conftest import compile_kernel, axpy_body
+
+    config = native_config(1)
+    a = compile_kernel(axpy_body(0.33333331), config, 64, {"x": 64, "y": 64})
+    b = compile_kernel(axpy_body(0.33333334), config, 64, {"x": 64, "y": 64})
+    assert f"{0.33333331:g}" == f"{0.33333334:g}"  # display form collides
+    assert program_fingerprint(a) != program_fingerprint(b)
+
+
+def test_duplicate_cells_in_one_batch_simulate_once():
+    executor = CellExecutor()
+    cell = Cell(workload="axpy", config=native_config(1))
+    results = executor.run([cell, cell, cell])
+    assert executor.stats.sims_executed == 1
+    assert results[0].stats == results[1].stats == results[2].stats
+
+
+def test_cache_clear(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    CellExecutor(cache=cache).run_one(
+        Cell(workload="axpy", config=native_config(1)))
+    assert cache.clear() == 1
+    assert cache.clear() == 0
+
+
+# ---------------------------------------------------------------------------
+# parallel execution
+# ---------------------------------------------------------------------------
+def test_parallel_matches_serial_on_a_small_grid():
+    spec = SweepSpec(workloads=("axpy",),
+                     configs=(native_config(1), ava_config(2), ava_config(8)))
+    serial = CellExecutor(jobs=1).run_spec(spec)
+    parallel = CellExecutor(jobs=4).run_spec(spec)
+    assert len(serial) == len(parallel) == 3
+    for a, b in zip(serial, parallel):
+        assert a.cell.config.name == b.cell.config.name
+        assert a.stats == b.stats
+        assert a.energy == b.energy
+
+
+def test_parallel_executor_fills_a_shared_cache(tmp_path):
+    spec = SweepSpec(workloads=("axpy",),
+                     configs=(native_config(1), ava_config(8)))
+    cold = make_executor(jobs=2, cache=True, cache_dir=tmp_path / "cache")
+    cold.run_spec(spec)
+    assert cold.stats.sims_executed == 2
+
+    warm = make_executor(jobs=2, cache=True, cache_dir=tmp_path / "cache")
+    warm.run_spec(spec)
+    assert warm.stats.sims_executed == 0
+    assert warm.stats.cache_hits == 2
+
+
+def test_check_cells_carry_correctness_through_the_cache(tmp_path):
+    cell = Cell(workload="axpy", config=native_config(1), check=True)
+    cache = ResultCache(tmp_path / "cache")
+    first = CellExecutor(cache=cache).run_one(cell)
+    assert first.correct is True
+    warm = CellExecutor(cache=ResultCache(tmp_path / "cache"))
+    assert warm.run_one(cell).correct is True
+    assert warm.stats.sims_executed == 0
+
+
+def test_executor_rejects_bad_jobs():
+    with pytest.raises(ValueError):
+        CellExecutor(jobs=0)
