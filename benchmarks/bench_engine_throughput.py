@@ -1,20 +1,28 @@
 """Engine throughput: cells/second for serial, parallel and warm-cache runs.
 
 Tracks the experiment-execution engine itself so the perf trajectory
-(``BENCH_*.json``) can see regressions in the three execution paths:
+(``BENCH_engine.json``) can see regressions in the three execution paths:
 
 * **serial** — inline execution, no cache (the seed repo's behaviour);
 * **parallel** — the same grid fanned out over a process pool;
 * **warm cache** — the same grid replayed from the persistent result
   cache (no simulations at all; the acceptance mode for re-rendering).
+
+Run as a script (``python benchmarks/bench_engine_throughput.py``) it
+measures cold serial throughput, writes ``BENCH_engine.json`` and exits
+non-zero when throughput regressed more than 20% versus the committed
+baseline in ``benchmarks/BENCH_engine.json`` — the CI ``bench-smoke`` job.
 """
 
 import os
+import sys
 import time
+from pathlib import Path
 
 from _common import publish
 
 from repro.core.config import ava_config, native_config
+from repro.experiments.bench import run_bench_engine
 from repro.experiments.engine import (CellExecutor, ResultCache, SweepSpec,
                                       make_executor)
 from repro.experiments.rendering import render_table
@@ -86,3 +94,36 @@ def test_engine_cache_persistence(tmp_path):
     second.run_spec(SPEC)
     assert second.stats.sims_executed == 0
     assert second.stats.cache_hits == len(SPEC.cells())
+
+
+def main(argv=None) -> int:
+    """CI bench-smoke entry: measure, record, gate on regression."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="cold-cache engine throughput smoke benchmark")
+    parser.add_argument("--output", default="BENCH_engine.json",
+                        help="where to write the measured record")
+    parser.add_argument("--baseline",
+                        default=str(Path(__file__).parent
+                                    / "BENCH_engine.json"),
+                        help="committed baseline to gate against")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="allowed fractional drop vs baseline "
+                             "(default 0.20)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="measurement repetitions; best run is kept")
+    parser.add_argument("--relative", action="store_true",
+                        help="gate on the same-run scheduler-vs-reference "
+                             "speedup instead of the committed absolute "
+                             "baseline (machine-independent; used in CI)")
+    args = parser.parse_args(argv)
+    return run_bench_engine(output=args.output,
+                            baseline_path=Path(args.baseline),
+                            max_regression=args.max_regression,
+                            repeats=args.repeats,
+                            relative=args.relative)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

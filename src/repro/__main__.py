@@ -35,9 +35,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("artifact",
                         choices=["table1", "table2", "table3", "table4",
                                  "table5", "figure3", "figure4", "figure5",
-                                 "claims"])
+                                 "claims", "bench"])
     parser.add_argument("workload", nargs="?", default="axpy",
-                        help="application for figure3 (or 'all')")
+                        help="application for figure3 (or 'all'); "
+                             "benchmark name for bench ('engine')")
+    parser.add_argument("--bench-output", default="BENCH_engine.json",
+                        metavar="FILE",
+                        help="where 'bench engine' writes its JSON record "
+                             "(default: BENCH_engine.json)")
     parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                         help="worker processes for simulation cells "
                              "(default: 1, inline)")
@@ -53,6 +58,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+
+    if args.artifact == "bench":
+        if args.workload != "engine":
+            parser.error("available benchmarks: engine")
+        from repro.experiments.bench import run_bench_engine
+        return run_bench_engine(output=args.bench_output)
 
     executor = make_executor(jobs=args.jobs, cache=not args.no_cache,
                              cache_dir=args.cache_dir)

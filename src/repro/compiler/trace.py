@@ -80,17 +80,15 @@ def unroll_kernel(body: KernelBody, schedule: StripSchedule,
     for inst in preamble:
         out.append(inst.remap(identity, vl=mvl))
 
+    n_pre = body.n_preamble
     for it, strip in enumerate(schedule.strips):
         out.append(scalar_block(schedule.scalar_cycles))
-        base_id = body.n_preamble + it * n_body_regs
-
-        def rename(vid: int) -> int:
-            if vid < body.n_preamble:
-                return vid
-            return base_id + (vid - body.n_preamble)
-
+        # Loop-body temporaries shift by a per-iteration offset; preamble
+        # registers (loop invariants) keep their ids.
+        offset = it * n_body_regs
         for inst in loop:
-            mapping = {r: rename(r) for r in inst.registers}
+            mapping = {r: (r if r < n_pre else r + offset)
+                       for r in inst.registers}
             mem = inst.mem
             if mem is not None and mem.space is AddressSpace.DATA:
                 mem = mem.with_base(strip.start * mem.stride + mem.base_elem)

@@ -31,6 +31,8 @@ RAC_MAX = 7
 class RegisterAccessCounters:
     """One saturating counter per VVR."""
 
+    __slots__ = ("n_vvr", "_counts", "_saturated")
+
     def __init__(self, n_vvr: int) -> None:
         self.n_vvr = n_vvr
         self._counts: List[int] = [0] * n_vvr

@@ -20,6 +20,8 @@ from typing import Deque, List, Optional
 class RenameTable:
     """RAT + FRL over ``n_vvr`` virtual vector registers."""
 
+    __slots__ = ("n_logical", "n_vvr", "_rat", "_frl", "_retirement_rat")
+
     def __init__(self, n_logical: int, n_vvr: int) -> None:
         if n_vvr < n_logical:
             raise ValueError("need at least one VVR per logical register")

@@ -18,6 +18,8 @@ from repro.core.uop import MicroOp, UopState
 class ReorderBuffer:
     """Bounded in-order retirement queue."""
 
+    __slots__ = ("capacity", "commit_width", "_entries", "total_committed")
+
     def __init__(self, capacity: int = 64, commit_width: int = 2) -> None:
         if capacity < 1:
             raise ValueError("ROB needs at least one entry")

@@ -49,11 +49,14 @@ class SwapLogic:
         self._rr_pointer = 0
 
     # -- bookkeeping hooks (called by the pipeline) ------------------------------
+    # Allocation order is only ever read by the FIFO policy, so the other
+    # policies skip the O(n) list maintenance on the commit/release path.
     def note_allocation(self, vvr: int) -> None:
-        self._allocation_order.append(vvr)
+        if self.policy is VictimPolicy.FIFO:
+            self._allocation_order.append(vvr)
 
     def note_release(self, vvr: int) -> None:
-        if vvr in self._allocation_order:
+        if self.policy is VictimPolicy.FIFO and vvr in self._allocation_order:
             self._allocation_order.remove(vvr)
 
     # -- reclamation ---------------------------------------------------------------

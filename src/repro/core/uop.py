@@ -33,9 +33,14 @@ class UopState(enum.Enum):
     COMMITTED = "committed"
 
 
-@dataclass
+@dataclass(slots=True)
 class MicroOp:
-    """One vector instruction in flight."""
+    """One vector instruction in flight.
+
+    ``slots=True``: simulations create one of these per dynamic instruction
+    and the pipeline probes their fields on every evaluated cycle, so the
+    per-instance dict is pure overhead.
+    """
 
     inst: Instruction
     seq: int = -1  # issue-queue entry order; -1 until the uop enters a queue
@@ -79,6 +84,20 @@ class MicroOp:
     #: VVR renaming generation a swap operation was created for; if the
     #: generation died before the op executes, its data movement is squashed.
     swap_gen: int = -1
+    #: Sum of the sources' :class:`~repro.core.vrf_mapping.VRFMapping`
+    #: per-VVR residency versions at which this uop's issue-time operand
+    #: resolution last completed; while every source's version is unchanged
+    #: (versions only grow, so the sum detects that) the scheduler skips
+    #: re-resolving — sources cannot have moved.  -1 = never resolved.
+    resolved_version: int = -1
+    #: Same residency-version sum, taken when pre-issue last stalled on this
+    #: uop; while it is unchanged the stall outcome cannot have changed and
+    #: the scheduler only re-counts the stall.  -1 = no memoized stall.
+    preissue_stall_version: int = -1
+    #: Which pre-issue stall was memoized: 0 = waiting on an unissued
+    #: producer (source has no physical register yet), 1 = target issue
+    #: queue full at dispatch step C.
+    preissue_stall_kind: int = 0
 
     def attach_producer(self, producer: Optional["MicroOp"]) -> None:
         self.producers.append(producer)

@@ -22,6 +22,9 @@ from typing import Deque, List, Optional
 class VRFMapping:
     """PRMT + VRLT + PFRL over ``n_vvr`` VVRs and ``n_physical`` P-regs."""
 
+    __slots__ = ("n_vvr", "n_physical", "vvr_version", "_prmt",
+                 "_vrlt", "_pfrl", "_owner", "_in_mvrf")
+
     def __init__(self, n_vvr: int, n_physical: int) -> None:
         if n_physical < 1:
             raise ValueError("need at least one physical register")
@@ -29,6 +32,12 @@ class VRFMapping:
             raise ValueError("more physical registers than VVRs is senseless")
         self.n_vvr = n_vvr
         self.n_physical = n_physical
+        #: Per-VVR residency version, bumped on every transition of that
+        #: VVR (allocate / evict / release); the pipeline memoizes stalled
+        #: probes against exactly the VVRs they depend on.  Versions only
+        #: ever increase, so a sum over a fixed VVR set is unchanged iff
+        #: every member is unchanged.
+        self.vvr_version: List[int] = [0] * n_vvr
         self._prmt: List[Optional[int]] = [None] * n_vvr
         self._vrlt: List[bool] = [False] * n_vvr
         self._pfrl: Deque[int] = deque(range(n_physical))
@@ -77,6 +86,7 @@ class VRFMapping:
         self._vrlt[vvr] = True
         self._in_mvrf[vvr] = False
         self._owner[preg] = vvr
+        self.vvr_version[vvr] += 1
         return preg
 
     def evict(self, vvr: int) -> int:
@@ -87,6 +97,7 @@ class VRFMapping:
         self._prmt[vvr] = None
         self._owner[preg] = None
         self._pfrl.append(preg)
+        self.vvr_version[vvr] += 1
         return preg
 
     def release(self, vvr: int) -> Optional[int]:
@@ -98,6 +109,7 @@ class VRFMapping:
         if not self._vrlt[vvr]:
             self._prmt[vvr] = None
             self._in_mvrf[vvr] = False
+            self.vvr_version[vvr] += 1
             return None
         preg = self.evict(vvr)
         self._in_mvrf[vvr] = False

@@ -1,0 +1,189 @@
+"""Engine throughput benchmark: the ``repro bench engine`` entry point.
+
+Measures cold-cache cells/second (and cycles simulated/second) of the
+experiment-execution engine over the standard 8-cell benchmark grid —
+2 workloads x 4 machine configurations, the same grid
+``benchmarks/bench_engine_throughput.py`` has tracked since PR 1 — and
+writes the result as ``BENCH_engine.json`` so CI can gate on throughput
+regressions.
+
+The committed reference numbers live in ``benchmarks/BENCH_engine.json``;
+:func:`check_regression` fails when the measured cold throughput drops more
+than the allowed fraction below them.  ``pr1_baseline_cells_per_sec`` in
+that file records the throughput of the pre-event-driven-scheduler engine
+(PR 1), measured on the same machine with the same grid, so the scheduler's
+speedup stays visible next to the current numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.core.config import ava_config, native_config
+from repro.experiments.engine import CellExecutor, SweepSpec
+
+#: The benchmark grid (PR 1's): small but non-trivial, 8 cells.
+BENCH_SPEC = SweepSpec(
+    workloads=("axpy", "blackscholes"),
+    configs=(native_config(1), ava_config(2), ava_config(4), ava_config(8)),
+)
+
+#: Where the committed reference numbers live.
+BASELINE_PATH = Path(__file__).resolve().parents[3] / "benchmarks" \
+    / "BENCH_engine.json"
+
+
+def measure_engine_throughput(repeats: int = 3) -> dict:
+    """Run the benchmark grid cold (no cache) ``repeats`` times serially.
+
+    Returns the best run (shared machines are noisy; the minimum is the
+    least-contended measurement), with scheduler-efficiency counters from
+    the executed simulations.
+    """
+    n_cells = len(BENCH_SPEC.cells())
+    best: Optional[dict] = None
+    for _ in range(max(1, repeats)):
+        executor = CellExecutor()  # no cache: every cell simulates
+        start = time.perf_counter()
+        executor.run_spec(BENCH_SPEC)
+        elapsed = time.perf_counter() - start
+        stats = executor.stats
+        run = {
+            "cells": n_cells,
+            "seconds": round(elapsed, 4),
+            "cells_per_sec": round(n_cells / elapsed, 3),
+            "cycles_simulated": stats.sim_cycles,
+            "cycles_per_sec": round(stats.sim_cycles / elapsed, 1),
+            "events_processed": stats.sim_events_processed,
+            "cycles_skipped": stats.sim_cycles_skipped,
+        }
+        if best is None or run["cells_per_sec"] > best["cells_per_sec"]:
+            best = run
+    assert best is not None
+    return best
+
+
+def measure_scheduler_speedup() -> dict:
+    """Machine-independent check: event-driven scheduler vs the retained
+    reference stepper, same grid, same machine, same run.
+
+    Unlike the absolute cells/second gate (valid only on the machine the
+    baseline was recorded on), this ratio cancels host speed, so CI can
+    gate on it without cross-machine flakiness.
+    """
+    import numpy as np
+
+    from repro.vpu.pipeline import VectorPipeline
+    from repro.vpu.reference import ReferencePipeline
+    from repro.workloads.registry import get_workload
+
+    jobs = []
+    for cell in BENCH_SPEC.cells():
+        workload = cell.resolve_workload()
+        jobs.append((workload, workload.compile(cell.config).program,
+                     cell.config))
+    timings = {}
+    for label, cls in (("reference", ReferencePipeline),
+                       ("scheduler", VectorPipeline)):
+        start = time.perf_counter()
+        for workload, program, config in jobs:
+            pipe = cls(config, program)
+            workload.init_data(np.random.default_rng(42))
+            pipe.run()
+        timings[label] = time.perf_counter() - start
+    return {
+        "reference_seconds": round(timings["reference"], 4),
+        "scheduler_seconds": round(timings["scheduler"], 4),
+        "speedup_vs_reference": round(
+            timings["reference"] / timings["scheduler"], 3),
+    }
+
+
+def load_baseline(path: Path = BASELINE_PATH) -> Optional[dict]:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def check_regression(measured: dict, baseline: dict,
+                     max_regression: float = 0.20) -> Optional[str]:
+    """None if within budget, else a human-readable failure message."""
+    reference = baseline.get("cells_per_sec")
+    if not reference:
+        return None
+    floor = reference * (1.0 - max_regression)
+    if measured["cells_per_sec"] < floor:
+        return (f"engine throughput regressed: {measured['cells_per_sec']} "
+                f"cells/s vs committed baseline {reference} "
+                f"(allowed floor {floor:.2f})")
+    return None
+
+
+def render_report(measured: dict, baseline: Optional[dict]) -> str:
+    lines = [
+        "engine cold-cache throughput "
+        f"({measured['cells']} cells, serial):",
+        f"  {measured['cells_per_sec']} cells/s "
+        f"({measured['seconds']} s, "
+        f"{measured['cycles_per_sec']:,.0f} cycles/s)",
+        f"  scheduler: {measured['events_processed']} events processed, "
+        f"{measured['cycles_skipped']} of {measured['cycles_simulated']} "
+        "cycles skipped",
+    ]
+    if baseline:
+        pr1 = baseline.get("pr1_baseline_cells_per_sec")
+        if pr1:
+            lines.append(f"  vs PR 1 engine ({pr1} cells/s): "
+                         f"{measured['cells_per_sec'] / pr1:.2f}x")
+        ref = baseline.get("cells_per_sec")
+        if ref:
+            lines.append(f"  vs committed baseline ({ref} cells/s): "
+                         f"{measured['cells_per_sec'] / ref:.2f}x")
+    return "\n".join(lines)
+
+
+def run_bench_engine(output: Optional[str] = "BENCH_engine.json",
+                     baseline_path: Path = BASELINE_PATH,
+                     max_regression: float = 0.20,
+                     repeats: int = 3,
+                     relative: bool = False,
+                     min_relative_speedup: float = 1.1) -> int:
+    """CLI body for ``repro bench engine``; returns an exit status.
+
+    ``relative=True`` gates on the same-run scheduler-vs-reference ratio
+    instead of the committed absolute baseline — the machine-independent
+    mode CI uses.
+    """
+    baseline = load_baseline(baseline_path)
+    if baseline is None and not relative:
+        print(f"note: no committed baseline at {baseline_path}; "
+              "the regression gate is skipped (run from a repository "
+              "checkout to enable it)")
+    measured = measure_engine_throughput(repeats=repeats)
+    if baseline and "pr1_baseline_cells_per_sec" in baseline:
+        measured["pr1_baseline_cells_per_sec"] = (
+            baseline["pr1_baseline_cells_per_sec"])
+    if relative:
+        measured.update(measure_scheduler_speedup())
+    print(render_report(measured, baseline))
+    if output:
+        Path(output).write_text(json.dumps(measured, indent=2) + "\n")
+        print(f"[written to {output}]")
+    if relative:
+        ratio = measured["speedup_vs_reference"]
+        print(f"  vs reference stepper (same run): {ratio}x")
+        if ratio < min_relative_speedup:
+            print(f"scheduler regressed: only {ratio}x over the reference "
+                  f"stepper (floor {min_relative_speedup}x)")
+            return 1
+        return 0
+    if baseline:
+        failure = check_regression(measured, baseline, max_regression)
+        if failure:
+            print(failure)
+            return 1
+    return 0

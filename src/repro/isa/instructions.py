@@ -62,9 +62,45 @@ class Instruction:
     tag: Tag = Tag.NORMAL
     uid: int = field(default_factory=lambda: next(_seq_counter))
 
+    # ``info`` and the ``is_*`` kind flags are plain instance attributes
+    # precomputed in ``__post_init__`` (not dataclass fields, so they stay
+    # out of repr/eq/hash).  The simulator probes them on every evaluated
+    # cycle; deriving them from the opcode table each time dominated the
+    # per-cycle cost before they were cached here.
+
+    _DERIVED = ("info", "is_memory", "is_load", "is_store", "is_arith",
+                "is_scalar")
+
+    def _fill_derived(self) -> OpInfo:
+        info = op_info(self.op)
+        kind = info.kind
+        # Direct __dict__ fill: these are not dataclass fields, and the
+        # frozen-dataclass __setattr__ guard must be bypassed anyway.
+        self.__dict__.update(
+            info=info,
+            is_memory=info.is_memory,
+            is_load=kind is OpKind.MEM_LOAD,
+            is_store=kind is OpKind.MEM_STORE,
+            is_arith=info.is_arith,
+            is_scalar=kind is OpKind.SCALAR,
+        )
+        return info
+
+    def __getstate__(self) -> dict:
+        """Exclude the derived attributes: ``OpInfo`` carries evaluator
+        lambdas (unpicklable), and the attributes are pure functions of
+        ``op`` anyway."""
+        return {k: v for k, v in self.__dict__.items()
+                if k not in self._DERIVED}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._fill_derived()
+
     def __post_init__(self) -> None:
-        info = self.info
-        if info.kind is OpKind.SCALAR:
+        info = self._fill_derived()
+        kind = info.kind
+        if kind is OpKind.SCALAR:
             return
         if len(self.srcs) != info.n_srcs:
             raise ValueError(
@@ -83,30 +119,6 @@ class Instruction:
             raise ValueError("vector instructions need vl >= 1")
 
     @property
-    def info(self) -> OpInfo:
-        return op_info(self.op)
-
-    @property
-    def is_memory(self) -> bool:
-        return self.info.is_memory
-
-    @property
-    def is_load(self) -> bool:
-        return self.info.kind is OpKind.MEM_LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.info.kind is OpKind.MEM_STORE
-
-    @property
-    def is_arith(self) -> bool:
-        return self.info.is_arith
-
-    @property
-    def is_scalar(self) -> bool:
-        return self.info.kind is OpKind.SCALAR
-
-    @property
     def registers(self) -> Tuple[int, ...]:
         """All register operands (sources plus destination if present)."""
         if self.dst is None:
@@ -120,16 +132,25 @@ class Instruction:
 
         Used by the register allocator (virtual -> architectural) and by the
         strip-mining trace emitter (rebasing memory operands per iteration).
+        Remapping cannot change the instruction's shape (operand counts,
+        opcode kind, dst presence), so the copy is built directly instead of
+        re-running ``__init__`` validation — this is the compiler's hottest
+        loop (one copy per instruction per strip-mine iteration).
         """
-        return Instruction(
-            op=self.op,
+        new_vl = self.vl if vl is None else vl
+        if new_vl <= 0:
+            raise ValueError("vector instructions need vl >= 1")
+        clone = object.__new__(Instruction)
+        d = dict(self.__dict__)
+        d.update(
             dst=None if self.dst is None else mapping[self.dst],
             srcs=tuple(mapping[s] for s in self.srcs),
-            scalar=self.scalar,
-            vl=self.vl if vl is None else vl,
+            vl=new_vl,
             mem=self.mem if mem is None else mem,
-            tag=self.tag,
+            uid=next(_seq_counter),
         )
+        clone.__dict__.update(d)
+        return clone
 
     def describe(self) -> str:
         parts = [self.op.value]

@@ -92,7 +92,12 @@ Evaluator = Callable[[Sequence[np.ndarray], Optional[float]], np.ndarray]
 
 @dataclass(frozen=True)
 class OpInfo:
-    """Static properties of one opcode."""
+    """Static properties of one opcode.
+
+    ``is_memory`` / ``is_arith`` are plain attributes precomputed at
+    construction (one OpInfo exists per opcode, but the flags are read for
+    every instruction the compiler builds and the simulator probes).
+    """
 
     kind: OpKind
     n_srcs: int
@@ -101,13 +106,11 @@ class OpInfo:
     beats_per_element: float
     evaluate: Optional[Evaluator]
 
-    @property
-    def is_memory(self) -> bool:
-        return self.kind in (OpKind.MEM_LOAD, OpKind.MEM_STORE)
-
-    @property
-    def is_arith(self) -> bool:
-        return self.kind is OpKind.ARITH
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "is_memory",
+            self.kind in (OpKind.MEM_LOAD, OpKind.MEM_STORE))
+        object.__setattr__(self, "is_arith", self.kind is OpKind.ARITH)
 
 
 def _as_int(a: np.ndarray) -> np.ndarray:

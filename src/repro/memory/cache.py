@@ -73,43 +73,50 @@ class Cache:
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
         self.stats = CacheStats()
+        # Geometry hoisted out of the per-access path (n_sets is a derived
+        # property; accesses happen per line per memory instruction).
+        self._n_sets = config.n_sets
+        self._line_bytes = config.line_bytes
+        self._assoc = config.associativity
         # set index -> {tag: (last_use, dirty)}
         self._sets: List[Dict[int, List]] = [
             {} for _ in range(config.n_sets)]
         self._tick = 0
 
     def _locate(self, addr: int) -> tuple[int, int]:
-        line = addr // self.config.line_bytes
-        return line % self.config.n_sets, line // self.config.n_sets
+        line = addr // self._line_bytes
+        return line % self._n_sets, line // self._n_sets
 
     def access(self, addr: int, write: bool = False) -> bool:
         """Access the byte address ``addr``; returns True on hit."""
-        self._tick += 1
-        set_idx, tag = self._locate(addr)
-        ways = self._sets[set_idx]
+        tick = self._tick = self._tick + 1
+        line = addr // self._line_bytes
+        ways = self._sets[line % self._n_sets]
+        tag = line // self._n_sets
+        stats = self.stats
         if write:
-            self.stats.writes += 1
+            stats.writes += 1
         else:
-            self.stats.reads += 1
+            stats.reads += 1
 
         entry = ways.get(tag)
         if entry is not None:
-            entry[0] = self._tick
+            entry[0] = tick
             entry[1] = entry[1] or write
             return True
 
         if write:
-            self.stats.write_misses += 1
+            stats.write_misses += 1
         else:
-            self.stats.read_misses += 1
+            stats.read_misses += 1
 
-        if len(ways) >= self.config.associativity:
+        if len(ways) >= self._assoc:
             victim_tag = min(ways, key=lambda t: ways[t][0])
             if ways[victim_tag][1]:
-                self.stats.writebacks += 1
+                stats.writebacks += 1
             del ways[victim_tag]
         # Write-allocate: the line is brought in either way.
-        ways[tag] = [self._tick, write]
+        ways[tag] = [tick, write]
         return False
 
     def contains(self, addr: int) -> bool:

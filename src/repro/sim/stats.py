@@ -60,6 +60,16 @@ class SimStats:
     mem_busy_cycles: int = 0
     fast_forward_cycles: int = 0
 
+    # Scheduler efficiency: cycles the event-driven scheduler actually
+    # evaluated (``events_processed``) versus cycles it jumped over between
+    # events (``cycles_skipped``).  A no-progress probe cycle is evaluated
+    # and then jumped over, so the counters overlap by the probe count:
+    # events <= cycles <= events + skipped.  ``fast_forward_cycles`` keeps
+    # its historical name and value (it counts the same skipped cycles) so
+    # downstream consumers stay stable.
+    events_processed: int = 0
+    cycles_skipped: int = 0
+
     # Provenance.
     config_name: str = ""
     program_name: str = ""

@@ -12,6 +12,7 @@ values for every machine family, so comparisons stay honest.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 
@@ -57,8 +58,6 @@ class TimingParams:
 
     def arith_beats(self, vl: int, beats_per_element: float) -> int:
         """Cycles the arithmetic unit is occupied by a ``vl``-element op."""
-        import math
-
         return max(1, math.ceil(vl / self.lanes * beats_per_element))
 
     def scalar_to_vpu(self, scalar_cycles: float) -> float:

@@ -1,26 +1,42 @@
-"""The AVA vector pipeline: Figure 1, advanced cycle by cycle.
+"""The AVA vector pipeline, driven by an event-driven scheduler.
 
-Stage order per cycle (resources freed early in the cycle are visible to
-later stages, classic reverse-pipeline evaluation):
+The pipeline stages are the paper's Figure 1 (commit, complete, the two
+decoupled issue queues, pre-issue, rename, scalar dispatch — evaluated in
+reverse-pipeline order so resources freed early in a cycle are visible to
+later stages).  What changed relative to the original implementation (kept
+verbatim in :mod:`repro.vpu.reference`) is *when* stages are evaluated:
 
-1. **commit** — up to ``commit_width`` finished ROB heads retire: RAC source
-   decrements, old-destination VVRs return to the FRL, aggressive register
-   reclamation frees physical registers whose counts reached zero;
-2. **complete** — issued micro-ops whose last element wrote back flip to
-   DONE and set their VVR valid bit;
-3. **issue** — the memory and arithmetic queue heads issue in order (each
-   queue in-order, the pair decoupled = the paper's "light out-of-order"),
-   subject to chaining readiness and the two swap issue rules;
-4. **pre-issue** — the second-level mapping (§III.C steps A/B/C): one action
-   per cycle — either generating one swap operation or dispatching the head
-   micro-op into its queue;
-5. **rename** — first-level renaming (logical -> VVR) at one instruction per
-   cycle, stalling on an empty FRL or a full ROB;
-6. **dispatch** — the 2 GHz scalar core feeds the VPU's dispatch queue and
-   absorbs the scalar loop-control blocks.
+* every stage contributes wake-up timestamps to one unified event set —
+  the completion heap, unit ``busy_until`` marks, queue-head readiness
+  (producer/guard ``issued_at`` + the chaining delay), in-queue swap-op
+  readiness, and the scalar core's next hand-off time;
+* a cycle is *evaluated* only while at least one stage can act; stage
+  entry is gated on O(1) preconditions (ROB head completed, completion
+  due, unit free and queue non-empty, …) that exactly mirror each stage's
+  no-progress early-return, so a gated-off stage is observationally
+  indistinguishable from a polled one;
+* when no stage can act, the clock jumps straight to the earliest future
+  event instead of re-probing idle stages cycle by cycle — the original
+  all-stalled-only ``_fast_forward`` generalised into the normal execution
+  mode;
+* queue-head operand resolution is memoized against the second-level
+  mapping's version counter: while no VVR changes residency, a stalled
+  head's re-probe collapses to pruning completed producers (exactly what
+  the full re-resolution would compute) instead of re-walking the mapping
+  and reader bookkeeping every cycle.
 
-When a cycle makes no progress the clock fast-forwards to the next
-timestamped event; if no event exists the pipeline raises
+The scheduler is required to be **observationally invisible**: identical
+:class:`~repro.sim.stats.SimStats` (including per-evaluated-cycle stall
+counters and the ``fast_forward_cycles`` accounting, now rebased onto
+skipped-event cycles), identical functional-mode buffers, and identical
+result-cache payloads versus the reference stepper.  ``events_processed``
+counts evaluated cycles and ``cycles_skipped`` counts jumped ones (a
+no-progress probe is evaluated and then jumped over, so
+``events <= cycles <= events + skipped``).  The golden-equivalence suite
+(``tests/vpu/test_pipeline_equivalence.py``) enforces all of this across
+every registered workload and a grid of machine configurations.
+
+When no future event exists while instructions remain, the pipeline raises
 :class:`DeadlockError` with a diagnostic dump (the dependency-ordering
 invariant in :mod:`repro.core.uop` makes this unreachable for well-formed
 programs, and the property tests lean on that).
@@ -34,7 +50,7 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.config import MachineConfig
-from repro.core.rac import RegisterAccessCounters
+from repro.core.rac import RAC_MAX, RegisterAccessCounters
 from repro.core.rat import RenameTable
 from repro.core.rob import ReorderBuffer
 from repro.core.swap import SwapLogic, VictimPolicy
@@ -60,6 +76,16 @@ _OK = "ok"
 _CREATED = "created-swap"
 _STALL_VICTIM = "stall-victim"
 _STALL_QUEUE = "stall-queue"
+
+# Fused issue-probe outcomes (_resolve_head): operand resolution and
+# chaining readiness answered in one pass over the head's dependencies.
+_R_READY = 0
+_R_WAIT = 1
+_R_CREATED = 2
+_R_VICTIM = 3
+
+#: Sentinel wake-up time for "nothing to do until another stage acts".
+_NEVER = float("inf")
 
 
 class VectorPipeline:
@@ -124,6 +150,21 @@ class VectorPipeline:
         self._scalar_time = 0.0
         self._inflight_mem = 0  # uncommitted vector memory instructions
         self._to_commit = sum(1 for i in program.insts if not i.is_scalar)
+        self._n_insts = len(program.insts)
+        self._pre_issue_depth = self.params.pre_issue_depth
+        self._chain_delay = self.params.chain_issue_delay
+        self._fifo_policy = victim_policy is VictimPolicy.FIFO
+        # Single-level configurations (every VVR has a physical register)
+        # can never evict, so no Swap Mechanism bookkeeping is reachable:
+        # sources are always resident at pre-issue, every physical register
+        # returns to the free list only after all its readers committed, and
+        # victim selection is never consulted.  The reader-tracking side
+        # tables stay empty and their maintenance is skipped.
+        self._track_swap_state = config.n_physical < config.n_vvr
+        # Scalar dispatch wake-up: the earliest cycle _dispatch could make
+        # progress again; _NEVER while blocked on a full dispatch queue
+        # (rename resets it when it pops).
+        self._dispatch_wake = 0.0
 
         self.now = 0
         self.stats = SimStats(config_name=config.name,
@@ -145,127 +186,251 @@ class VectorPipeline:
 
     # ------------------------------------------------------------------ run
     def run(self, max_cycles: int = 200_000_000) -> SimStats:
-        """Execute to completion; returns the accumulated statistics."""
-        while not self.finished:
-            if self.now > max_cycles:
+        """Execute to completion; returns the accumulated statistics.
+
+        One loop iteration evaluates one cycle; each stage is entered only
+        when its O(1) gate holds (the gate mirrors the stage's no-progress
+        early return, so skipping a stage is observationally identical to
+        polling it).  When no gate holds or every entered stage reports a
+        stall, the clock jumps straight to the next event.
+        """
+        stats = self.stats
+        rob = self.rob
+        rob_entries = rob._entries  # deque identity is stable
+        completions = self._completions
+        mem_q = self.mem_q
+        arith_q = self.arith_q
+        pre_issue_q = self.pre_issue_q
+        dispatch_q = self.dispatch_q
+        pre_issue_depth = self._pre_issue_depth
+        n_insts = self._n_insts
+        to_commit = self._to_commit
+        vvr_version = self.mapping.vvr_version
+        done_state = UopState.DONE
+        events = 0
+        writer_stalls = 0
+        while rob.total_committed < to_commit:
+            now = self.now
+            if now > max_cycles:
+                stats.events_processed += events
+                stats.preissue_writer_stalls += writer_stalls
                 raise RuntimeError(
                     f"simulation exceeded {max_cycles} cycles "
-                    f"({self.rob.total_committed}/{self._to_commit} committed)")
-            progress = self._step()
+                    f"(now={now}, {rob.total_committed}/"
+                    f"{to_commit} committed)")
+            events += 1
+            progress = False
+            if rob_entries and rob_entries[0].state is done_state:
+                progress = self._commit()
+            if completions and completions[0][0] <= now:
+                self._complete()
+                progress = True
+            if mem_q and self._mem_busy_until <= now:
+                progress |= self._issue_memory()
+            if arith_q and self._arith_busy_until <= now:
+                progress |= self._issue_arith()
+            if pre_issue_q:
+                # Inlined writer-stall memo (the dominant pre-issue
+                # outcome): re-count the stall while no source of the head
+                # changed residency, without entering the stage.
+                head = pre_issue_q[0]
+                if head.preissue_stall_version >= 0 \
+                        and head.preissue_stall_kind == 0:
+                    vsum = 0
+                    for v in head.src_vvrs:
+                        vsum += vvr_version[v]
+                    if vsum == head.preissue_stall_version:
+                        writer_stalls += 1
+                    else:
+                        head.preissue_stall_version = -1
+                        progress |= self._pre_issue()
+                else:
+                    progress |= self._pre_issue()
+            if dispatch_q and len(pre_issue_q) < pre_issue_depth:
+                progress |= self._rename()
+            if self._fetch_idx < n_insts and now >= self._dispatch_wake:
+                progress |= self._dispatch()
             if progress:
-                self.now += 1
+                self.now = now + 1
             else:
+                # No stage can act: jump straight to the next event.  The
+                # budget is re-checked at the loop top — one jump can leap
+                # far past max_cycles and must not execute a cycle there.
                 self._fast_forward()
+        stats.events_processed += events
+        stats.preissue_writer_stalls += writer_stalls
         self._harvest()
         return self.stats
 
-    def _step(self) -> bool:
-        progress = self._commit()
-        progress |= self._complete()
-        progress |= self._issue_memory()
-        progress |= self._issue_arith()
-        progress |= self._pre_issue()
-        progress |= self._rename()
-        progress |= self._dispatch()
-        return progress
-
     def _fast_forward(self) -> None:
-        candidates: List[float] = []
+        """Jump ``now`` to the earliest future event in the unified set."""
+        now = self.now
+        best = _NEVER
         if self._completions:
-            candidates.append(self._completions[0][0])
+            c = self._completions[0][0]
+            if now < c < best:
+                best = c
         if self.mem_q:
-            candidates.append(self._mem_busy_until)
+            c = self._mem_busy_until
+            if now < c < best:
+                best = c
             wait = self._head_wait_time(self.mem_q[0])
-            if wait is not None:
-                candidates.append(wait)
+            if wait is not None and now < wait < best:
+                best = wait
             # Swap ops can issue out of order past a blocked head.
             for queued in self.mem_q:
                 if queued.inst.tag is Tag.SWAP:
                     wait = self._head_wait_time(queued)
-                    if wait is not None:
-                        candidates.append(wait)
+                    if wait is not None and now < wait < best:
+                        best = wait
         if self.arith_q:
-            candidates.append(self._arith_busy_until)
+            c = self._arith_busy_until
+            if now < c < best:
+                best = c
             wait = self._head_wait_time(self.arith_q[0])
-            if wait is not None:
-                candidates.append(wait)
-        if self._fetch_idx < len(self.program.insts):
-            candidates.append(math.ceil(self._scalar_time))
-        future = [c for c in candidates if c > self.now]
-        if not future:
+            if wait is not None and now < wait < best:
+                best = wait
+        if self._fetch_idx < self._n_insts:
+            c = math.ceil(self._scalar_time)
+            if now < c < best:
+                best = c
+        if best is _NEVER:
             raise DeadlockError(self._dump())
-        target = int(min(future))
-        self.stats.fast_forward_cycles += target - self.now
+        target = int(best)
+        self.stats.fast_forward_cycles += target - now
+        self.stats.cycles_skipped += target - now
         self.now = target
 
     def _head_wait_time(self, uop: MicroOp) -> Optional[float]:
         """Earliest cycle the queue head could become ready, if timestamped."""
+        delay = self._chain_delay
         t = 0.0
         for p in uop.producers:
             if p is None:
                 continue
-            if p.issued_at < 0:
+            issued = p.issued_at
+            if issued < 0:
                 return None  # producer not issued yet; no timestamp exists
-            t = max(t, p.issued_at + self.params.chain_issue_delay)
-        guards = list(uop.reader_guards)
-        if uop.store_guard is not None:
-            guards.append(uop.store_guard)
-        for g in guards:
-            if g.issued_at < 0:
+            if issued + delay > t:
+                t = issued + delay
+        for g in uop.reader_guards:
+            issued = g.issued_at
+            if issued < 0:
                 return None
-            t = max(t, g.issued_at + self.params.chain_issue_delay)
+            if issued + delay > t:
+                t = issued + delay
+        g = uop.store_guard
+        if g is not None:
+            issued = g.issued_at
+            if issued < 0:
+                return None
+            if issued + delay > t:
+                t = issued + delay
         return t
 
     # ------------------------------------------------------------------ commit
     def _commit(self) -> bool:
-        ready = self.rob.committable(self.now)
-        if not ready:
-            return False
-        for uop in ready:
-            self._retire(uop)
-        return True
+        """Retire up to ``commit_width`` completed ROB heads (gate: head is
+        DONE)."""
+        now = self.now
+        rob = self.rob
+        entries = rob._entries
+        retired = 0
+        width = rob.commit_width
+        done_state = UopState.DONE
+        while retired < width and entries:
+            head = entries[0]
+            if head.state is not done_state or head.done_at > now:
+                break
+            # Inlined ReorderBuffer.retire (the popped entry is the head
+            # just examined, so the out-of-order check cannot fire).
+            entries.popleft()
+            head.state = UopState.COMMITTED
+            head.committed_at = now
+            rob.total_committed += 1
+            self._retire(head)
+            retired += 1
+        return retired > 0
 
     def _retire(self, uop: MicroOp) -> None:
-        self.rob.retire(uop, self.now)
+        # Inlined RAC decrement + reclamation test (saturating-counter
+        # semantics exactly as RegisterAccessCounters.decrement /
+        # is_reclaimable), and inlined VRF/RAT commit bookkeeping
+        # (drop_mvrf / reset / mark_valid / commit_valid / RAT.commit):
+        # this runs once per committed instruction and dominated commit
+        # cost as method calls.
+        vrf = self.vrf
+        counts = self.rac._counts
+        saturated = self.rac._saturated
+        vrlt = self.mapping._vrlt
+        valid = vrf._valid
+        generation = vrf._generation
+        mvrf_valid = vrf._mvrf_valid
+        mvrf = vrf._mvrf
+        fifo = self._fifo_policy
+        aggressive = self.aggressive_reclamation
         for vvr in uop.src_vvrs:
-            self.rac.decrement(vvr)
-            if (self.aggressive_reclamation and self.rac.is_reclaimable(vvr)
-                    and self.mapping.in_pvrf(vvr)
-                    and self.vrf.is_valid(vvr)):
+            if saturated[vvr]:
+                continue  # saturated: no decrement, never reclaimable
+            count = counts[vvr]
+            if count == 0:
+                raise RuntimeError(
+                    f"RAC underflow on VVR {vvr}: update protocol violated")
+            counts[vvr] = count = count - 1
+            if count == 0 and aggressive and vrlt[vvr] and valid[vvr]:
                 self.mapping.release(vvr)
-                self.swap_logic.note_release(vvr)
-                self.vrf.drop_mvrf(vvr)  # generation is dead
+                if fifo:
+                    self.swap_logic.note_release(vvr)
+                # drop_mvrf: the generation is dead.
+                mvrf.pop(vvr, None)
+                mvrf_valid.discard(vvr)
+                generation[vvr] += 1
         if uop.dst_vvr is not None:
             assert uop.old_dst_vvr is not None
             old = uop.old_dst_vvr
+            dst = uop.dst_vvr
             self.mapping.release(old)
-            self.swap_logic.note_release(old)
-            self.vrf.drop_mvrf(old)
-            self.rac.reset(old)
-            self.vrf.mark_valid(old)
-            self.vrf.commit_valid(old)
-            self.vrf.commit_valid(uop.dst_vvr)
-            self.rat.commit(uop.inst.dst, uop.dst_vvr, old)
+            if fifo:
+                self.swap_logic.note_release(old)
+            mvrf.pop(old, None)  # drop_mvrf
+            mvrf_valid.discard(old)
+            generation[old] += 1
+            counts[old] = 0  # RAC reset
+            saturated[old] = False
+            valid[old] = True  # mark_valid
+            retired_valid = vrf._retired_valid  # commit_valid x2
+            retired_valid[old] = True
+            retired_valid[dst] = valid[dst]
+            # RAT.commit: retirement checkpoint + FRL release.
+            rat = self.rat
+            rat._retirement_rat[uop.inst.dst] = dst
+            rat._frl.append(old)
         if uop.inst.is_memory:
             self._inflight_mem -= 1
         self.stats.committed += 1
 
     # ------------------------------------------------------------------ complete
-    def _complete(self) -> bool:
-        progress = False
-        while self._completions and self._completions[0][0] <= self.now:
-            _, _, uop = heapq.heappop(self._completions)
-            uop.state = UopState.DONE
-            if uop.dst_vvr is not None:
-                self.vrf.mark_valid(uop.dst_vvr)
-                if self._pending_writer.get(uop.dst_vvr) is uop:
-                    del self._pending_writer[uop.dst_vvr]
-            if uop.inst.tag is Tag.SWAP and uop.inst.is_store:
+    def _complete(self) -> None:
+        """Flip due micro-ops to DONE (gate: completion heap top is due)."""
+        completions = self._completions
+        now = self.now
+        heappop = heapq.heappop
+        valid = self.vrf._valid
+        pending_writer = self._pending_writer
+        done_state = UopState.DONE
+        while completions and completions[0][0] <= now:
+            uop = heappop(completions)[2]
+            uop.state = done_state
+            dst_vvr = uop.dst_vvr
+            if dst_vvr is not None:
+                valid[dst_vvr] = True  # mark_valid
+                if pending_writer.get(dst_vvr) is uop:
+                    del pending_writer[dst_vvr]
+            inst = uop.inst
+            if inst.tag is Tag.SWAP and inst.is_store:
                 victim = uop.src_vvrs[0]
                 if self._pending_mvrf_store.get(victim) is uop:
                     del self._pending_mvrf_store[victim]
-            progress = True
-        return progress
 
     # ------------------------------------------------------------------ issue
     def _ready(self, uop: MicroOp) -> bool:
@@ -278,32 +443,32 @@ class VectorPipeline:
         :meth:`_finish_issue` keeps the new owner's write-back behind their
         reads in time.
         """
-        delay = self.params.chain_issue_delay
-        deps = list(uop.producers) + list(uop.reader_guards)
-        if uop.store_guard is not None:
-            deps.append(uop.store_guard)
-        for p in deps:
-            if p is None:
-                continue
-            if p.issued_at < 0 or p.issued_at + delay > self.now:
+        delay = self._chain_delay
+        now = self.now
+        for p in uop.producers:
+            if p is not None and (p.issued_at < 0 or p.issued_at + delay > now):
                 return False
+        for g in uop.reader_guards:
+            if g.issued_at < 0 or g.issued_at + delay > now:
+                return False
+        g = uop.store_guard
+        if g is not None and (g.issued_at < 0 or g.issued_at + delay > now):
+            return False
         return True
 
     def _issue_memory(self) -> bool:
-        if not self.mem_q or self._mem_busy_until > self.now:
-            return False
+        """Issue the memory-queue head (gate: queue non-empty, unit free)."""
         uop = self.mem_q[0]
-        outcome = self._ensure_operands(uop)
-        if outcome == _CREATED:
+        code = self._resolve_head(uop)
+        if code == _R_READY:
+            self.mem_q.popleft()
+            self._issue_memory_uop(uop)
+            return True
+        if code == _R_CREATED:
             return True  # a priority swap op now heads the memory queue
-        if outcome == _STALL_VICTIM:
+        if code == _R_VICTIM:
             self.stats.issue_victim_stalls += 1
-            return self._issue_swap_bypass()
-        if not self._ready(uop):
-            return self._issue_swap_bypass()
-        self.mem_q.popleft()
-        self._issue_memory_uop(uop)
-        return True
+        return self._issue_swap_bypass()
 
     def _issue_memory_uop(self, uop: MicroOp) -> None:
         plan = self.vmu.plan(uop.inst)
@@ -331,28 +496,28 @@ class VectorPipeline:
         head's own source may be coming back via a Swap-Load sitting behind
         it) and overlaps swap traffic with dependency stalls.
         """
-        for idx in range(1, len(self.mem_q)):
-            cand = self.mem_q[idx]
+        mem_q = self.mem_q
+        for idx in range(1, len(mem_q)):
+            cand = mem_q[idx]
             if cand.inst.tag is not Tag.SWAP:
                 continue
             if not self._ready(cand):
                 continue
-            del self.mem_q[idx]
+            del mem_q[idx]
             self._issue_memory_uop(cand)
             return True
         return False
 
     def _issue_arith(self) -> bool:
-        if not self.arith_q or self._arith_busy_until > self.now:
-            return False
+        """Issue the arithmetic-queue head (gate: queue non-empty, unit
+        free)."""
         uop = self.arith_q[0]
-        outcome = self._ensure_operands(uop)
-        if outcome == _CREATED:
-            return True
-        if outcome == _STALL_VICTIM:
-            self.stats.issue_victim_stalls += 1
-            return False
-        if not self._ready(uop):
+        code = self._resolve_head(uop)
+        if code != _R_READY:
+            if code == _R_CREATED:
+                return True
+            if code == _R_VICTIM:
+                self.stats.issue_victim_stalls += 1
             return False
         self.arith_q.popleft()
         info = uop.inst.info
@@ -366,8 +531,17 @@ class VectorPipeline:
         self._execute_arith(uop)
         return True
 
-    def _ensure_operands(self, uop: MicroOp) -> str:
-        """Issue-time operand resolution (§VIII: registers "at issue time").
+    def _resolve_head(self, uop: MicroOp) -> int:
+        """Fused issue probe: operand resolution + chaining readiness.
+
+        Returns ``_R_READY`` / ``_R_WAIT`` / ``_R_CREATED`` (a priority swap
+        op was generated) / ``_R_VICTIM`` (no legal swap victim).  Producer
+        readiness is computed during the same pass that prunes completed
+        producers, and guard readiness is checked after destination
+        allocation (which is what attaches guards), preserving the exact
+        evaluation order of the original resolve-then-ready sequence.
+
+        Issue-time operand resolution (§VIII: registers "at issue time").
 
         Sources were resolved optimistically at pre-issue, but a mapping can
         have gone stale if the Swap Logic evicted the VVR while this
@@ -379,58 +553,124 @@ class VectorPipeline:
         the Swap Mechanism first reclaims an RAC==0 register, then evicts a
         clean victim for free, and only then creates a **priority
         Swap-Store** (Swap-1; issue rule 1 makes the new owner trail it).
-        """
-        created = False
-        if uop.inst.tag is not Tag.SWAP:
-            refreshed = []
-            for vvr in uop.src_vvrs:
-                if not self.mapping.in_pvrf(vvr):
-                    if not self.mapping.in_mvrf(vvr):
-                        raise AssertionError(
-                            f"source VVR {vvr} of {uop.describe()} has "
-                            f"neither a physical register nor an M-VRF home")
-                    excluded = list(uop.src_vvrs)
-                    if uop.dst_vvr is not None:
-                        excluded.append(uop.dst_vvr)
-                    outcome = self._free_one_preg(excluded, front=True)
-                    if outcome == _CREATED:
-                        return _CREATED
-                    if outcome != _OK:
-                        return outcome
-                    self._emit_swap_load(vvr, front=True)
-                    return _CREATED
-                refreshed.append(self.mapping.preg_of(vvr))
-            new_pregs = tuple(refreshed)
-            # Always rebuild the producer links: a source may have been
-            # evicted and Swap-Loaded back (possibly into the same physical
-            # register) while this instruction waited, and its value now
-            # comes from that in-flight Swap-Load.
-            uop.producers = []
-            for vvr in uop.src_vvrs:
-                producer = self._pending_writer.get(vvr)
-                uop.attach_producer(
-                    producer if producer is not None
-                    and not self._is_done(producer) else None)
-            if new_pregs != uop.src_pregs:
-                uop.src_pregs = new_pregs
-                for preg in new_pregs:
-                    readers = self._preg_readers.setdefault(preg, [])
-                    if uop not in readers:
-                        readers.append(uop)
 
-        if uop.dst_vvr is None or uop.dst_preg is not None:
-            return _OK
-        excluded = list(uop.src_vvrs) + [uop.dst_vvr]
-        if self.mapping.free_count == 0:
-            outcome = self._free_one_preg(excluded, front=True)
-            if outcome == _CREATED:
-                created = True
-            elif outcome != _OK:
-                return outcome
-        preg = self.mapping.allocate(uop.dst_vvr)
-        self._attach_write_guards(uop, preg)
-        uop.dst_preg = preg
-        return _CREATED if created else _OK
+        Source re-resolution is memoized against the sources' per-VVR
+        residency versions, seeded when pre-issue mapped the sources: while
+        none of this uop's sources changes residency, the sources cannot go
+        stale, the reader bookkeeping cannot change, and the pre-issue
+        producer links stay correct — the only effect a full re-resolution
+        could have is replacing now-completed producers with ``None``, which
+        the fast path performs directly.  Destination allocation may evict
+        *other* VVRs (sources are excluded), so it never invalidates the
+        uop's own memo.
+        """
+        mapping = self.mapping
+        now = self.now
+        delay = self._chain_delay
+        ready = True
+        if uop.inst.tag is not Tag.SWAP:
+            vvr_version = mapping.vvr_version
+            vsum = 0
+            for v in uop.src_vvrs:
+                vsum += vvr_version[v]
+            if uop.resolved_version == vsum:
+                producers = uop.producers
+                for i in range(len(producers)):
+                    p = producers[i]
+                    if p is not None:
+                        state = p.state
+                        if (state is UopState.DONE
+                                or state is UopState.COMMITTED
+                                or (state is UopState.ISSUED
+                                    and p.done_at <= now)):
+                            producers[i] = None
+                        elif p.issued_at < 0 or p.issued_at + delay > now:
+                            ready = False
+            else:
+                refreshed = []
+                for vvr in uop.src_vvrs:
+                    if not mapping.in_pvrf(vvr):
+                        if not mapping.in_mvrf(vvr):
+                            raise AssertionError(
+                                f"source VVR {vvr} of {uop.describe()} has "
+                                f"neither a physical register nor an M-VRF "
+                                f"home")
+                        excluded = list(uop.src_vvrs)
+                        if uop.dst_vvr is not None:
+                            excluded.append(uop.dst_vvr)
+                        outcome = self._free_one_preg(excluded, front=True)
+                        if outcome == _STALL_VICTIM:
+                            return _R_VICTIM
+                        if outcome != _OK:
+                            return _R_CREATED
+                        self._emit_swap_load(vvr, front=True)
+                        return _R_CREATED
+                    refreshed.append(mapping.preg_of(vvr))
+                new_pregs = tuple(refreshed)
+                # Rebuild the producer links: a source was evicted and
+                # Swap-Loaded back (possibly into the same physical
+                # register) while this instruction waited, and its value now
+                # comes from that in-flight Swap-Load.
+                uop.producers = []
+                for vvr in uop.src_vvrs:
+                    producer = self._pending_writer.get(vvr)
+                    uop.attach_producer(
+                        producer if producer is not None
+                        and not self._is_done(producer) else None)
+                if new_pregs != uop.src_pregs:
+                    uop.src_pregs = new_pregs
+                    for preg in new_pregs:
+                        readers = self._preg_readers.setdefault(preg, [])
+                        if uop not in readers:
+                            readers.append(uop)
+                # The rebuild itself performs no mapping transition, so the
+                # entry sum still describes the sources.
+                uop.resolved_version = vsum
+                for p in uop.producers:
+                    if p is not None and (p.issued_at < 0
+                                          or p.issued_at + delay > now):
+                        ready = False
+                        break
+        else:
+            for p in uop.producers:
+                if p is not None and (p.issued_at < 0
+                                      or p.issued_at + delay > now):
+                    ready = False
+                    break
+
+        if uop.dst_vvr is not None and uop.dst_preg is None:
+            created = False
+            excluded = list(uop.src_vvrs) + [uop.dst_vvr]
+            if mapping.free_count == 0:
+                outcome = self._free_one_preg(excluded, front=True)
+                if outcome == _CREATED:
+                    created = True
+                elif outcome != _OK:
+                    return _R_VICTIM
+            preg = mapping.allocate(uop.dst_vvr)
+            if self._track_swap_state:
+                self._attach_write_guards(uop, preg)
+            uop.dst_preg = preg
+            if created:
+                return _R_CREATED
+        if not ready:
+            return _R_WAIT
+        # Guard readiness last: destination allocation (just above) is what
+        # attaches guards, matching the resolve-then-ready original order.
+        for g in uop.reader_guards:
+            if g.issued_at < 0 or g.issued_at + delay > now:
+                return _R_WAIT
+        g = uop.store_guard
+        if g is not None and (g.issued_at < 0 or g.issued_at + delay > now):
+            return _R_WAIT
+        return _R_READY
+
+    def _src_version_sum(self, uop: MicroOp) -> int:
+        vvr_version = self.mapping.vvr_version
+        vsum = 0
+        for v in uop.src_vvrs:
+            vsum += vvr_version[v]
+        return vsum
 
     def _free_one_preg(self, excluded: List[int], front: bool) -> str:
         """Make the PFRL non-empty: reclaim, clean-evict, or Swap-Store."""
@@ -470,15 +710,18 @@ class VectorPipeline:
         prod_done = 0
         for p in uop.producers:
             if p is not None:
-                prod_first = max(prod_first, p.first_ready)
-                prod_done = max(prod_done, p.done_at)
+                if p.first_ready > prod_first:
+                    prod_first = p.first_ready
+                if p.done_at > prod_done:
+                    prod_done = p.done_at
         # Swap rules in streaming form: this op's writes trail the old
         # value's store/readers, so its completion cannot precede theirs.
         guard_done = 0
         for g in uop.reader_guards:
-            guard_done = max(guard_done, g.done_at)
-        if uop.store_guard is not None:
-            guard_done = max(guard_done, uop.store_guard.done_at)
+            if g.done_at > guard_done:
+                guard_done = g.done_at
+        if uop.store_guard is not None and uop.store_guard.done_at > guard_done:
+            guard_done = uop.store_guard.done_at
         first = max(self.now + dead + latency, prod_first + latency)
         done = max(self.now + occupancy + latency,
                    prod_done + latency,
@@ -490,43 +733,50 @@ class VectorPipeline:
 
     def _count_issue(self, uop: MicroOp) -> None:
         inst = uop.inst
-        if inst.tag is not Tag.SWAP:
+        stats = self.stats
+        if self._track_swap_state and inst.tag is not Tag.SWAP:
             # Swap ops never pass through pre-issue step C, so only regular
             # uops carry queued-reader pins.
+            queued_readers = self._vvr_queued_readers
             for vvr in uop.src_vvrs:
-                remaining = self._vvr_queued_readers.get(vvr, 0) - 1
+                remaining = queued_readers.get(vvr, 0) - 1
                 if remaining > 0:
-                    self._vvr_queued_readers[vvr] = remaining
+                    queued_readers[vvr] = remaining
                 else:
-                    self._vvr_queued_readers.pop(vvr, None)
+                    queued_readers.pop(vvr, None)
         if inst.is_arith:
-            self.stats.arith_insts += 1
-            self.stats.fpu_element_ops += inst.vl
+            stats.arith_insts += 1
+            stats.fpu_element_ops += inst.vl
         elif inst.is_load:
             if inst.tag is Tag.SPILL:
-                self.stats.spill_loads += 1
+                stats.spill_loads += 1
             elif inst.tag is Tag.SWAP:
-                self.stats.swap_loads += 1
+                stats.swap_loads += 1
             else:
-                self.stats.vloads += 1
+                stats.vloads += 1
         else:
             if inst.tag is Tag.SPILL:
-                self.stats.spill_stores += 1
+                stats.spill_stores += 1
             elif inst.tag is Tag.SWAP:
-                self.stats.swap_stores += 1
+                stats.swap_stores += 1
             else:
-                self.stats.vstores += 1
+                stats.vstores += 1
 
     # ------------------------------------------------------------------ execute
     def _execute_arith(self, uop: MicroOp) -> None:
         inst = uop.inst
-        values = [self.vrf.read_preg(p, inst.vl) for p in uop.src_pregs]
         assert uop.dst_preg is not None
-        if self.functional:
-            result = evaluate_arith(inst.op, values, inst.scalar, inst.vl)
-            self.vrf.write_preg(uop.dst_preg, result, inst.vl)
-        else:
-            self.vrf.write_preg(uop.dst_preg, None, inst.vl)  # counters only
+        if not self.functional:
+            # Counters only (identical to read_preg per source plus one
+            # write_preg, without the per-call overhead).
+            vrf = self.vrf
+            vl = inst.vl
+            vrf.pvrf_reads += vl * len(uop.src_pregs)
+            vrf.pvrf_writes += vl
+            return
+        values = [self.vrf.read_preg(p, inst.vl) for p in uop.src_pregs]
+        result = evaluate_arith(inst.op, values, inst.scalar, inst.vl)
+        self.vrf.write_preg(uop.dst_preg, result, inst.vl)
 
     def _execute_swap(self, uop: MicroOp) -> None:
         if uop.inst.is_store:
@@ -549,6 +799,18 @@ class VectorPipeline:
         inst = uop.inst
         mem = inst.mem
         assert mem is not None
+        if not self.functional:
+            # Counters only, mirroring the functional path's VRF traffic.
+            vrf = self.vrf
+            vl = inst.vl
+            if inst.is_load:
+                assert uop.dst_preg is not None
+                if mem.indexed:
+                    vrf.pvrf_reads += vl
+                vrf.pvrf_writes += vl
+            else:
+                vrf.pvrf_reads += vl * (2 if mem.indexed else 1)
+            return
         if inst.is_load:
             assert uop.dst_preg is not None
             if self.functional:
@@ -573,22 +835,53 @@ class VectorPipeline:
 
     # ------------------------------------------------------------------ pre-issue
     def _pre_issue(self) -> bool:
-        if not self.pre_issue_q:
-            return False
+        """Advance the second-level mapping (gate: pre-issue queue
+        non-empty).
+
+        Stalled heads are memoized against their sources' residency
+        versions: a head waiting on an unissued producer cannot unblock
+        until that source is allocated a physical register (which bumps its
+        version), and a head stalled on a full issue queue re-checks only
+        the queue depth.  While the memo holds, the stall is re-counted —
+        exactly what a full re-evaluation would do — without re-walking the
+        mapping.
+        """
         uop = self.pre_issue_q[0]
-        excluded = list(uop.src_vvrs)
-        if uop.dst_vvr is not None:
-            excluded.append(uop.dst_vvr)
+        mapping = self.mapping
+        if uop.preissue_stall_version >= 0:
+            vvr_version = mapping.vvr_version
+            vsum = 0
+            for v in uop.src_vvrs:
+                vsum += vvr_version[v]
+            if vsum == uop.preissue_stall_version:
+                if uop.preissue_stall_kind == 0:
+                    self.stats.preissue_writer_stalls += 1
+                    return False
+                # Queue-full stall: sources are fully mapped (step A falls
+                # through unchanged); only the target depth can vary.
+                target = (self.mem_q if uop.inst.is_memory else self.arith_q)
+                depth = (self.params.mem_queue_depth if uop.inst.is_memory
+                         else self.params.arith_queue_depth)
+                if len(target) >= depth:
+                    self.stats.preissue_queue_stalls += 1
+                    return False
+            uop.preissue_stall_version = -1
+        excluded: Optional[List[int]] = None  # built lazily; contents fixed
 
         # Step A: map sources; evicted sources need a Swap-Load each.  Swap
         # generation is combinational with the mapping update, so mapping can
         # complete in the same cycle as dispatch, but the memory queue
         # accepts at most `preissue_swap_budget` inserted swap ops per cycle.
         budget = self.params.preissue_swap_budget
+        vrlt = mapping._vrlt
         for vvr in uop.src_vvrs:
-            if self.mapping.in_pvrf(vvr):
+            if vrlt[vvr]:
                 continue
-            if self.mapping.in_mvrf(vvr):
+            if excluded is None:
+                excluded = list(uop.src_vvrs)
+                if uop.dst_vvr is not None:
+                    excluded.append(uop.dst_vvr)
+            if mapping._in_mvrf[vvr]:
                 if budget <= 0:
                     return True  # resume next cycle
                 outcome = self._acquire_preg(excluded)
@@ -608,6 +901,8 @@ class VectorPipeline:
                 # register (destinations are assigned at issue time).  Wait
                 # in order; the producer sits ahead in an issue queue.
                 self.stats.preissue_writer_stalls += 1
+                uop.preissue_stall_version = self._src_version_sum(uop)
+                uop.preissue_stall_kind = 0
                 return False
             # Never-defined source: allocate and read the SRAM reset state.
             outcome = self._acquire_preg(excluded)
@@ -616,32 +911,45 @@ class VectorPipeline:
             if outcome != _OK:
                 self._count_preissue_stall(outcome)
                 return False
-            preg = self.mapping.allocate(vvr)
+            preg = mapping.allocate(vvr)
             self._attach_write_guards(None, preg)  # drop stale guards
             self.swap_logic.note_allocation(vvr)
 
         # Step B (destination mapping) happens at issue time — see
-        # _ensure_dst_preg.  Step C: dispatch into the issue queue.
+        # _ensure_operands.  Step C: dispatch into the issue queue.
         target = self.mem_q if uop.inst.is_memory else self.arith_q
         depth = (self.params.mem_queue_depth if uop.inst.is_memory
                  else self.params.arith_queue_depth)
         if len(target) >= depth:
             self.stats.preissue_queue_stalls += 1
+            uop.preissue_stall_version = self._src_version_sum(uop)
+            uop.preissue_stall_kind = 1
             return False
 
-        uop.src_pregs = tuple(self.mapping.preg_of(v) for v in uop.src_vvrs)
+        prmt = mapping._prmt
+        uop.src_pregs = tuple([prmt[v] for v in uop.src_vvrs])
+        now = self.now
+        pending_writer = self._pending_writer
         for vvr in uop.src_vvrs:
-            producer = self._pending_writer.get(vvr)
-            uop.attach_producer(
-                producer if producer is not None
-                and not self._is_done(producer) else None)
-        for preg in uop.src_pregs:
-            self._preg_readers.setdefault(preg, []).append(uop)
-        for vvr in uop.src_vvrs:
-            self._vvr_queued_readers[vvr] = (
-                self._vvr_queued_readers.get(vvr, 0) + 1)
+            producer = pending_writer.get(vvr)
+            if producer is not None:
+                state = producer.state
+                if (state is UopState.DONE or state is UopState.COMMITTED
+                        or (state is UopState.ISSUED
+                            and producer.done_at <= now)):
+                    producer = None
+            uop.producers.append(producer)
+        if self._track_swap_state:
+            for preg in uop.src_pregs:
+                self._preg_readers.setdefault(preg, []).append(uop)
+            queued_readers = self._vvr_queued_readers
+            for vvr in uop.src_vvrs:
+                queued_readers[vvr] = queued_readers.get(vvr, 0) + 1
+        # Seed the issue-time resolution memo: the producer links and pregs
+        # just recorded stay correct until a source changes residency.
+        uop.resolved_version = self._src_version_sum(uop)
         # The destination physical register is assigned at issue time
-        # (_ensure_dst_preg); uop.dst_preg stays None until then.
+        # (_ensure_operands); uop.dst_preg stays None until then.
         uop.state = UopState.PRE_ISSUED
         uop.pre_issued_at = self.now
         uop.seq = self._next_seq()
@@ -756,36 +1064,56 @@ class VectorPipeline:
 
     # ------------------------------------------------------------------ rename
     def _rename(self) -> bool:
-        if not self.dispatch_q:
-            return False
-        if len(self.pre_issue_q) >= self.params.pre_issue_depth:
-            return False
-        if self.rob.full:
+        """First-level rename of the dispatch-queue head (gate: queue
+        non-empty and pre-issue queue not full)."""
+        rob = self.rob
+        if len(rob._entries) >= rob.capacity:
             self.stats.rename_rob_stalls += 1
             return False
         inst = self.dispatch_q[0]
-        if inst.dst is not None and not self.rat.can_rename_dst():
+        rat = self.rat
+        if inst.dst is not None and not rat._frl:
             self.stats.rename_frl_stalls += 1
             return False
         self.dispatch_q.popleft()
+        # A dispatch-queue slot opened up: let the scalar core re-evaluate
+        # (it runs after rename within the same cycle, as before).
+        self._dispatch_wake = 0.0
 
-        src_vvrs = self.rat.rename_sources(inst.srcs)
+        # Inlined RAT lookups and saturating RAC increments (semantics of
+        # RenameTable.rename_sources / RegisterAccessCounters.increment):
+        # this is once-per-instruction work on the hot path.
+        rat_map = rat._rat
+        counts = self.rac._counts
+        saturated = self.rac._saturated
+        src_vvrs = tuple([rat_map[l] for l in inst.srcs])
         for vvr in src_vvrs:
-            self.rac.increment(vvr)
+            if not saturated[vvr]:
+                if counts[vvr] >= RAC_MAX:
+                    saturated[vvr] = True
+                else:
+                    counts[vvr] += 1
         dst_vvr = old_vvr = None
         if inst.dst is not None:
-            dst_vvr, old_vvr = self.rat.rename_destination(inst.dst)
-            self.rac.increment(dst_vvr)
+            # Inlined RenameTable.rename_destination (FRL checked above).
+            old_vvr = rat_map[inst.dst]
+            dst_vvr = rat._frl.popleft()
+            rat_map[inst.dst] = dst_vvr
+            if not saturated[dst_vvr]:
+                if counts[dst_vvr] >= RAC_MAX:
+                    saturated[dst_vvr] = True
+                else:
+                    counts[dst_vvr] += 1
             self.rac.decrement(old_vvr)
-            self.vrf.mark_pending(dst_vvr)
+            self.vrf._valid[dst_vvr] = False  # mark_pending
             # Aggressive reclamation case 1 at rename time, guarded by the
             # paper's condition (b): no older vector memory instruction may
             # be in flight (they are the recovery-event sources).
             if (self.aggressive_reclamation
-                    and self.rac.is_reclaimable(old_vvr)
-                    and self.mapping.in_pvrf(old_vvr)
-                    and self.vrf.is_valid(old_vvr)
-                    and self._inflight_mem == 0):
+                    and self._inflight_mem == 0
+                    and not saturated[old_vvr] and counts[old_vvr] == 0
+                    and self.mapping._vrlt[old_vvr]
+                    and self.vrf._valid[old_vvr]):
                 self.mapping.release(old_vvr)
                 self.swap_logic.note_release(old_vvr)
                 self.vrf.drop_mvrf(old_vvr)  # generation is dead
@@ -795,7 +1123,10 @@ class VectorPipeline:
                       renamed_at=self.now)
         if dst_vvr is not None:
             self._pending_writer[dst_vvr] = uop
-        self.rob.allocate(uop)
+        # Inlined ReorderBuffer.allocate (capacity was checked above).
+        entries = rob._entries
+        uop.rob_index = rob.total_committed + len(entries)
+        entries.append(uop)
         if inst.is_memory:
             self._inflight_mem += 1
         self.pre_issue_q.append(uop)
@@ -803,26 +1134,39 @@ class VectorPipeline:
 
     # ------------------------------------------------------------------ dispatch
     def _dispatch(self) -> bool:
+        """Scalar-core hand-off (gate: instructions remain and the wake-up
+        time has arrived)."""
         progress = False
         insts = self.program.insts
-        while self._fetch_idx < len(insts):
+        n = self._n_insts
+        dispatch_q = self.dispatch_q
+        depth = self.params.dispatch_queue_depth
+        ratio = self.params.scalar_clock_ratio
+        hand_off = self.params.dispatch_scalar_cycles / ratio
+        while self._fetch_idx < n:
             inst = insts[self._fetch_idx]
             if inst.is_scalar:
                 assert inst.scalar is not None
-                self._scalar_time += self.params.scalar_to_vpu(inst.scalar)
+                self._scalar_time += inst.scalar / ratio
                 self.stats.scalar_blocks += 1
                 self._fetch_idx += 1
                 progress = True
                 continue
-            if len(self.dispatch_q) >= self.params.dispatch_queue_depth:
+            if len(dispatch_q) >= depth:
                 break
             if self._scalar_time > self.now:
                 break
-            self.dispatch_q.append(inst)
+            dispatch_q.append(inst)
             self._fetch_idx += 1
-            self._scalar_time += self.params.scalar_to_vpu(
-                self.params.dispatch_scalar_cycles)
+            self._scalar_time += hand_off
             progress = True
+        # Next wake-up: blocked on the queue -> woken by rename; otherwise
+        # the first cycle the scalar core will have handed over the next
+        # instruction.  (After the loop the head, if any, is non-scalar.)
+        if self._fetch_idx >= n or len(dispatch_q) >= depth:
+            self._dispatch_wake = _NEVER
+        else:
+            self._dispatch_wake = math.ceil(self._scalar_time)
         return progress
 
     # ------------------------------------------------------------------ results

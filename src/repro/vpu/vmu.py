@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.isa.instructions import Instruction
 from repro.isa.registers import ELEMENT_BYTES
 from repro.memory.hierarchy import MemorySystem
@@ -68,7 +70,17 @@ class VectorMemoryUnit:
         return self.memsys.vector_first_latency
 
     def plan(self, inst: Instruction) -> MemoryAccessPlan:
-        """Compute the access plan for ``inst`` (mutates cache state)."""
+        """Compute the access plan for ``inst`` (mutates cache state).
+
+        Beat and unique-line counts come from line-index span arithmetic
+        (indexed and unit-stride accesses are arithmetic progressions of
+        line indices; arbitrary strides fall back to a vectorised
+        ``np.unique`` over the line indices) — no per-element Python lists.
+        The per-address L2 probes themselves are inherently sequential (each
+        one advances LRU state and the hit/miss counters the figures
+        report), so they keep the exact per-element access order of the
+        original implementation.
+        """
         mem = inst.mem
         assert mem is not None, "memory instruction without operand"
         write = inst.is_store
@@ -76,31 +88,42 @@ class VectorMemoryUnit:
         vl = inst.vl
 
         if mem.indexed:
-            line_addrs = [base + i * _LINE for i in range(vl)]
+            # Deterministic worst case: one distinct line per element, so
+            # the line-address sequence is an arithmetic progression and
+            # every element touches its own line.
+            addrs = range(base, base + vl * _LINE, _LINE)
             beats = vl
+            lines = vl
         elif mem.stride == 1:
             first = base // _LINE
             last = (base + vl * ELEMENT_BYTES - 1) // _LINE
-            line_addrs = [line * _LINE for line in range(first, last + 1)]
-            beats = len(line_addrs)
+            beats = last - first + 1
+            addrs = range(first * _LINE, (last + 1) * _LINE, _LINE)
+            lines = beats
         else:
-            line_addrs = [base + i * mem.stride * ELEMENT_BYTES
-                          for i in range(vl)]
+            step = mem.stride * ELEMENT_BYTES
             beats = vl
+            if step:
+                addrs = range(base, base + vl * step, step)
+                lines = int(np.unique(
+                    (base + np.arange(vl, dtype=np.int64) * step)
+                    // _LINE).size)
+            else:  # degenerate stride: every element hits the same address
+                addrs = (base,) * vl
+                lines = 1
 
+        access = self.memsys.vector_line_access
         misses = 0
-        seen_lines: set[int] = set()
-        for addr in line_addrs:
-            if self.memsys.vector_line_access(addr, write):
+        for addr in addrs:
+            if access(addr, write):
                 misses += 1
-            seen_lines.add(addr // _LINE)
 
         self.beats_total += beats
-        self.lines_total += len(seen_lines)
+        self.lines_total += lines
         dram = self.memsys.dram.config
         return MemoryAccessPlan(
             beats=beats,
             misses=misses,
             fill_beats=misses * dram.line_transfer,
             miss_latency=dram.latency if misses else 0,
-            lines_touched=len(seen_lines))
+            lines_touched=lines)
