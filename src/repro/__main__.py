@@ -4,7 +4,10 @@ Artifacts:
 
 * ``table1`` .. ``table5`` — the paper's tables;
 * ``figure3 <app>`` — one application's four-chart panel
-  (``figure3 all`` runs the suite);
+  (``figure3 all`` runs Table IV's six; ``figure3 extended`` or
+  ``--extended`` the full ten-kernel suite; ``--workloads a,b`` any
+  registry selection — including kernels plugged in via
+  :func:`repro.workloads.register_workload`);
 * ``figure4`` — areas and performance/mm²;
 * ``figure5`` — the two floorplans;
 * ``claims`` — every headline claim, paper vs measured.
@@ -36,9 +39,20 @@ def main(argv: list[str] | None = None) -> int:
                         choices=["table1", "table2", "table3", "table4",
                                  "table5", "figure3", "figure4", "figure5",
                                  "claims", "bench"])
-    parser.add_argument("workload", nargs="?", default="axpy",
-                        help="application for figure3 (or 'all'); "
-                             "benchmark name for bench ('engine')")
+    parser.add_argument("workload", nargs="?", default=None,
+                        help="application for figure3 (a registered name, "
+                             "'all' for Table IV, 'extended' for the "
+                             "ten-kernel suite; default: axpy); benchmark "
+                             "name for bench ('engine')")
+    parser.add_argument("--extended", action="store_true",
+                        help="run the extended ten-kernel suite "
+                             "(figure3 [all] / figure4 / claims / "
+                             "bench engine)")
+    parser.add_argument("--workloads", metavar="LIST",
+                        help="comma-separated registered workload names: "
+                             "the suite for figure3/figure4; for claims, "
+                             "extra kernels simulated alongside the fixed "
+                             "claim apps (not applicable to bench)")
     parser.add_argument("--bench-output", default="BENCH_engine.json",
                         metavar="FILE",
                         help="where 'bench engine' writes its JSON record "
@@ -62,8 +76,22 @@ def main(argv: list[str] | None = None) -> int:
     if args.artifact == "bench":
         if args.workload != "engine":
             parser.error("available benchmarks: engine")
+        if args.workloads:
+            parser.error("--workloads does not apply to bench; "
+                         "use --extended for the ten-kernel grid")
         from repro.experiments.bench import run_bench_engine
-        return run_bench_engine(output=args.bench_output)
+        return run_bench_engine(output=args.bench_output,
+                                extended=args.extended)
+
+    from repro.workloads.registry import select_workloads
+
+    def selection(default: str | None = None) -> list[str]:
+        """Resolve --workloads / --extended (plus a positional default)."""
+        try:
+            return select_workloads(args.workloads or default,
+                                    extended=args.extended)
+        except KeyError as exc:
+            parser.error(str(exc))
 
     executor = make_executor(jobs=args.jobs, cache=not args.no_cache,
                              cache_dir=args.cache_dir)
@@ -85,26 +113,29 @@ def main(argv: list[str] | None = None) -> int:
         print(render_table5())
     elif args.artifact == "figure3":
         from repro.experiments.figure3 import build_panels
-        from repro.workloads import WORKLOAD_NAMES
-        names = (WORKLOAD_NAMES if args.workload == "all"
-                 else [args.workload])
-        unknown = [n for n in names if n not in WORKLOAD_NAMES]
-        if unknown:
-            parser.error(f"unknown workload {unknown[0]!r}; choose from "
-                         f"{', '.join(WORKLOAD_NAMES)} or 'all'")
+        # A bare `figure3` renders the axpy panel as always; a bare
+        # `figure3 --extended` means the whole ten-kernel suite.  An
+        # explicit positional name always wins over --extended.
+        if args.workload is None and not args.extended:
+            names = selection(default="axpy")
+        else:
+            names = selection(default=args.workload)
         panels = build_panels(names, executor=executor)
         for name in names:
             print(panels[name].render())
     elif args.artifact == "figure4":
         from repro.experiments.figure4 import build_figure4
-        print(build_figure4(executor=executor).render())
+        print(build_figure4(executor=executor,
+                            workload_names=selection()).render())
     elif args.artifact == "figure5":
         from repro.experiments.figure5 import render_figure5
         print(render_figure5())
     else:
         from repro.experiments.headline import (check_headline_claims,
                                                 render_claims)
-        print(render_claims(check_headline_claims(executor=executor)))
+        extra = selection() if (args.extended or args.workloads) else ()
+        print(render_claims(check_headline_claims(executor=executor,
+                                                  extra_workloads=extra)))
 
     if args.cache_stats:
         print(executor.stats.summary(), file=sys.stderr)

@@ -24,31 +24,40 @@ from typing import Optional
 
 from repro.core.config import ava_config, native_config
 from repro.experiments.engine import CellExecutor, SweepSpec
+from repro.workloads.registry import ALL_WORKLOAD_NAMES
+
+#: The configurations both benchmark grids sweep.
+_BENCH_CONFIGS = (native_config(1), ava_config(2), ava_config(4),
+                  ava_config(8))
 
 #: The benchmark grid (PR 1's): small but non-trivial, 8 cells.
-BENCH_SPEC = SweepSpec(
-    workloads=("axpy", "blackscholes"),
-    configs=(native_config(1), ava_config(2), ava_config(4), ava_config(8)),
-)
+BENCH_SPEC = SweepSpec(workloads=("axpy", "blackscholes"),
+                       configs=_BENCH_CONFIGS)
+
+#: The extended-grid variant: the full ten-kernel builtin suite over the
+#: same configurations (40 cells) — ``repro bench engine --extended``.
+EXTENDED_BENCH_SPEC = SweepSpec(workloads=tuple(ALL_WORKLOAD_NAMES),
+                                configs=_BENCH_CONFIGS)
 
 #: Where the committed reference numbers live.
 BASELINE_PATH = Path(__file__).resolve().parents[3] / "benchmarks" \
     / "BENCH_engine.json"
 
 
-def measure_engine_throughput(repeats: int = 3) -> dict:
-    """Run the benchmark grid cold (no cache) ``repeats`` times serially.
+def measure_engine_throughput(repeats: int = 3,
+                              spec: SweepSpec = BENCH_SPEC) -> dict:
+    """Run a benchmark grid cold (no cache) ``repeats`` times serially.
 
     Returns the best run (shared machines are noisy; the minimum is the
     least-contended measurement), with scheduler-efficiency counters from
     the executed simulations.
     """
-    n_cells = len(BENCH_SPEC.cells())
+    n_cells = len(spec.cells())
     best: Optional[dict] = None
     for _ in range(max(1, repeats)):
         executor = CellExecutor()  # no cache: every cell simulates
         start = time.perf_counter()
-        executor.run_spec(BENCH_SPEC)
+        executor.run_spec(spec)
         elapsed = time.perf_counter() - start
         stats = executor.stats
         run = {
@@ -66,7 +75,7 @@ def measure_engine_throughput(repeats: int = 3) -> dict:
     return best
 
 
-def measure_scheduler_speedup() -> dict:
+def measure_scheduler_speedup(spec: SweepSpec = BENCH_SPEC) -> dict:
     """Machine-independent check: event-driven scheduler vs the retained
     reference stepper, same grid, same machine, same run.
 
@@ -78,10 +87,9 @@ def measure_scheduler_speedup() -> dict:
 
     from repro.vpu.pipeline import VectorPipeline
     from repro.vpu.reference import ReferencePipeline
-    from repro.workloads.registry import get_workload
 
     jobs = []
-    for cell in BENCH_SPEC.cells():
+    for cell in spec.cells():
         workload = cell.resolve_workload()
         jobs.append((workload, workload.compile(cell.config).program,
                      cell.config))
@@ -151,24 +159,35 @@ def run_bench_engine(output: Optional[str] = "BENCH_engine.json",
                      max_regression: float = 0.20,
                      repeats: int = 3,
                      relative: bool = False,
-                     min_relative_speedup: float = 1.1) -> int:
+                     min_relative_speedup: float = 1.1,
+                     extended: bool = False) -> int:
     """CLI body for ``repro bench engine``; returns an exit status.
 
     ``relative=True`` gates on the same-run scheduler-vs-reference ratio
     instead of the committed absolute baseline — the machine-independent
-    mode CI uses.
+    mode CI uses.  ``extended=True`` measures the ten-kernel grid
+    (:data:`EXTENDED_BENCH_SPEC`); the absolute gate only applies when the
+    committed baseline was recorded on the same grid.
     """
+    spec = EXTENDED_BENCH_SPEC if extended else BENCH_SPEC
+    grid = "extended" if extended else "standard"
     baseline = load_baseline(baseline_path)
+    if baseline is not None and baseline.get("grid", "standard") != grid:
+        print(f"note: committed baseline covers the "
+              f"{baseline.get('grid', 'standard')} grid, not {grid}; "
+              "the absolute regression gate is skipped")
+        baseline = None
     if baseline is None and not relative:
-        print(f"note: no committed baseline at {baseline_path}; "
+        print(f"note: no committed {grid}-grid baseline at {baseline_path}; "
               "the regression gate is skipped (run from a repository "
               "checkout to enable it)")
-    measured = measure_engine_throughput(repeats=repeats)
+    measured = measure_engine_throughput(repeats=repeats, spec=spec)
+    measured["grid"] = grid
     if baseline and "pr1_baseline_cells_per_sec" in baseline:
         measured["pr1_baseline_cells_per_sec"] = (
             baseline["pr1_baseline_cells_per_sec"])
     if relative:
-        measured.update(measure_scheduler_speedup())
+        measured.update(measure_scheduler_speedup(spec=spec))
     print(render_report(measured, baseline))
     if output:
         Path(output).write_text(json.dumps(measured, indent=2) + "\n")

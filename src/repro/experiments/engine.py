@@ -307,6 +307,13 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w") as fh:
                 json.dump(payload, fh)
+            # mkstemp creates the file 0600; widen to what a plain open()
+            # would have produced under the process umask, or entries
+            # written by one user are unreadable to the other processes the
+            # shared-directory contract promises to serve.
+            umask = os.umask(0)
+            os.umask(umask)
+            os.chmod(tmp, 0o666 & ~umask)
             os.replace(tmp, self.path(key))
         except BaseException:
             try:
@@ -374,15 +381,25 @@ def _execute_cell(job: Tuple[Cell, Program]) -> dict:
 class ExecutorStats:
     """Observable engine counters (the warm-cache acceptance check).
 
-    ``sim_*`` counters aggregate the event-driven scheduler's efficiency
-    over the simulations this executor actually ran (cache hits replay
-    stored results and schedule nothing).
+    ``cache_misses`` counts every cell whose result was not replayed from
+    a cache — including every cell of a cache-less executor, so
+    ``cache_misses`` always equals ``cells_requested - cache_hits``.
+    ``compiles`` counts actual kernel compilations; the per-(workload,
+    config) memo keeps it at the number of *distinct* pairs keyed, however
+    many cells request them and whether or not they hit the cache (key
+    computation needs the program fingerprint, so one compile per pair is
+    the floor).  Named cells memoize for the executor's lifetime;
+    instance-backed cells only within one batch, because the caller owns
+    the instance and may mutate it between batches.  ``sim_*`` counters aggregate the event-driven scheduler's
+    efficiency over the simulations this executor actually ran (cache hits
+    replay stored results and schedule nothing).
     """
 
     cells_requested: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     sims_executed: int = 0
+    compiles: int = 0
     sim_cycles: int = 0
     sim_events_processed: int = 0
     sim_cycles_skipped: int = 0
@@ -391,7 +408,8 @@ class ExecutorStats:
         text = (f"engine: {self.cells_requested} cells requested, "
                 f"{self.cache_hits} cache hits, "
                 f"{self.cache_misses} misses, "
-                f"{self.sims_executed} simulations executed")
+                f"{self.sims_executed} simulations executed, "
+                f"{self.compiles} kernel compiles")
         if self.sim_cycles:
             skipped = 100.0 * self.sim_cycles_skipped / self.sim_cycles
             text += (f"\nscheduler: {self.sim_cycles} cycles simulated, "
@@ -417,15 +435,38 @@ class CellExecutor:
         self.jobs = jobs
         self.cache = cache
         self.stats = ExecutorStats()
+        # Compilation memo for *named* cells: the registry instantiates a
+        # fresh default-shaped instance per lookup, so (name, config) is
+        # pure for the life of the executor.  Instance-backed cells are
+        # memoized per batch only (see :meth:`run`): the caller owns the
+        # instance and may mutate it between batches.
+        self._programs: Dict[Tuple[Union[str, Workload], MachineConfig],
+                             Program] = {}
 
     # -- public API ------------------------------------------------------------
+    def _program_for(self, cell: Cell,
+                     batch_memo: Dict[Tuple[Union[str, Workload],
+                                            MachineConfig], Program]
+                     ) -> Program:
+        """The cell's compiled program, memoized per (workload, config)."""
+        memo = (self._programs if isinstance(cell.workload, str)
+                else batch_memo)
+        memo_key = (cell.workload, cell.config)
+        program = memo.get(memo_key)
+        if program is None:
+            program = cell.resolve_workload().compile(cell.config).program
+            self.stats.compiles += 1
+            memo[memo_key] = program
+        return program
+
     def run(self, cells: Sequence[Cell]) -> List[CellResult]:
         """Execute a batch; element ``i`` of the result matches ``cells[i]``."""
         self.stats.cells_requested += len(cells)
-        # Compile once per cell: the program feeds both the cache key and
-        # (for misses) the simulation itself.
-        programs = [cell.resolve_workload().compile(cell.config).program
-                    for cell in cells]
+        # One compile per distinct (workload, config) pair: the program
+        # feeds both the cache key and (for misses) the simulation itself.
+        batch_memo: Dict[Tuple[Union[str, Workload], MachineConfig],
+                         Program] = {}
+        programs = [self._program_for(cell, batch_memo) for cell in cells]
         keys = [cell_key(cell, program)
                 for cell, program in zip(cells, programs)]
 
@@ -438,8 +479,7 @@ class CellExecutor:
                 results[i] = self._materialise(cell, key, payload,
                                                from_cache=True)
             else:
-                if self.cache is not None:
-                    self.stats.cache_misses += 1
+                self.stats.cache_misses += 1
                 pending.append(i)
 
         if pending:
@@ -491,6 +531,20 @@ class CellExecutor:
             key=key,
             from_cache=from_cache,
         )
+
+
+def figure3_spec(workloads: Sequence[Union[str, Workload]],
+                 params: Optional[TimingParams] = None,
+                 check: bool = False) -> SweepSpec:
+    """The Figure-3 grid — all 14 chart configurations — over ``workloads``.
+
+    The shared declarative spec behind ``figure3``, ``claims`` and the
+    extended-suite CLI selections, so every consumer enumerates the same
+    cells in the same order (and therefore shares them through the cache).
+    """
+    from repro.experiments.configs import figure3_series
+    return SweepSpec(workloads=list(workloads), configs=figure3_series(),
+                     params=(params,), check=check)
 
 
 def make_executor(jobs: int = 1, cache: bool = False,

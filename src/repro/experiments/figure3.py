@@ -15,8 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.configs import figure3_series
-from repro.experiments.engine import CellExecutor, SweepSpec
+from repro.experiments.engine import CellExecutor, figure3_spec
 from repro.experiments.rendering import render_bars, render_table
 from repro.experiments.runner import (RunRecord, fill_speedups,
                                       record_from_result)
@@ -105,8 +104,7 @@ def build_panels(workload_names: Sequence[str],
     order, so rendering is identical to the serial path.
     """
     executor = executor or CellExecutor()
-    spec = SweepSpec(workloads=list(workload_names), configs=figure3_series(),
-                     params=(params,), check=check)
+    spec = figure3_spec(workload_names, params=params, check=check)
     results = executor.run_spec(spec)
 
     panels: Dict[str, Figure3Panel] = {}

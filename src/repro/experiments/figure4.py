@@ -10,7 +10,7 @@ bookkeeping structures) across every reconfiguration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import SCALE_FACTORS, ava_config, native_config
 from repro.experiments.engine import CellExecutor, SweepSpec
@@ -82,18 +82,25 @@ class Figure4:
 
 def build_figure4(params: Optional[TimingParams] = None,
                   per_workload: Optional[Dict[str, List[RunRecord]]] = None,
-                  executor: Optional[CellExecutor] = None) -> Figure4:
-    """Compute Fig. 4; re-runs the six applications unless records given."""
+                  executor: Optional[CellExecutor] = None,
+                  workload_names: Optional[Sequence[str]] = None) -> Figure4:
+    """Compute Fig. 4; re-runs the applications unless records are given.
+
+    The performance-per-mm² averages run over ``workload_names`` — Table
+    IV's six by default, or any registry selection (the CLI's
+    ``--extended`` / ``--workloads`` pass the ten-kernel grid through
+    here).
+    """
     mcpat = McPatModel()
     native_cfgs = [native_config(s) for s in SCALE_FACTORS]
     ava_cfgs = [ava_config(s) for s in SCALE_FACTORS]
 
     if per_workload is None:
         # One batch over the whole (workload × configuration) grid; a
-        # parallel executor fans all 60 cells out at once, and every cell
+        # parallel executor fans all cells out at once, and every cell
         # is shared with figure3/claims through the result cache.
         executor = executor or CellExecutor()
-        spec = SweepSpec(workloads=WORKLOAD_NAMES,
+        spec = SweepSpec(workloads=list(workload_names or WORKLOAD_NAMES),
                          configs=native_cfgs + ava_cfgs, params=(params,))
         results = executor.run_spec(spec)
         per_workload = {

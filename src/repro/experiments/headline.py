@@ -17,7 +17,7 @@ Produces a structured paper-vs-measured record used by EXPERIMENTS.md, the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.core.config import ava_config, native_config
 from repro.experiments.engine import CellExecutor
@@ -41,14 +41,20 @@ class Claim:
 
 def check_headline_claims(
         panels: Optional[dict[str, Figure3Panel]] = None,
-        executor: Optional[CellExecutor] = None) -> List[Claim]:
+        executor: Optional[CellExecutor] = None,
+        extra_workloads: Sequence[str] = ()) -> List[Claim]:
     """Evaluate every headline claim; reuses panels if provided.
 
     Without precomputed panels the three applications run as one engine
     batch — with a cache-backed executor they are shared with ``figure3``.
+    ``extra_workloads`` widens that batch (the CLI's ``--extended`` passes
+    the full ten-kernel grid), warming the shared cache without changing
+    which claims are evaluated.
     """
     if panels is None:
-        panels = build_panels(CLAIM_WORKLOADS, executor=executor)
+        names = list(CLAIM_WORKLOADS) + [n for n in extra_workloads
+                                         if n not in CLAIM_WORKLOADS]
+        panels = build_panels(names, executor=executor)
     claims: List[Claim] = []
 
     axpy = panels["axpy"]

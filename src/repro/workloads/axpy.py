@@ -13,11 +13,13 @@ import numpy as np
 
 from repro.isa.builder import KernelBody, KernelBuilder
 from repro.workloads.base import Workload
+from repro.workloads.registry import register_workload
 
 #: The BLAS alpha used throughout (arbitrary, nonzero).
 ALPHA = 2.5
 
 
+@register_workload
 class Axpy(Workload):
     name = "axpy"
     domain = "HPC"

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -57,6 +57,9 @@ class Workload(ABC):
 
     def __init__(self) -> None:
         self._body: Optional[KernelBody] = None
+        #: (n_elements, shape dict) pair backing :attr:`buffers`; keyed on
+        #: ``n_elements`` so tests that shrink an instance recompute it.
+        self._buffer_shapes: Optional[Tuple[int, Dict[str, int]]] = None
 
     # -- kernel ---------------------------------------------------------------
     @abstractmethod
@@ -80,9 +83,19 @@ class Workload(ABC):
 
     @property
     def buffers(self) -> Dict[str, int]:
-        """Buffer名 -> element count; defaults to n_elements each."""
+        """Buffer name -> element count (most buffers hold ``n_elements``).
+
+        The shapes come from one throwaway :meth:`init_data` call, cached
+        per instance: compiling the same workload for every configuration of
+        a sweep must not re-allocate every data array just to read lengths.
+        """
+        cached = self._buffer_shapes
+        if cached is not None and cached[0] == self.n_elements:
+            return cached[1]
         rng = np.random.default_rng(0)
-        return {name: len(arr) for name, arr in self.init_data(rng).items()}
+        shapes = {name: len(arr) for name, arr in self.init_data(rng).items()}
+        self._buffer_shapes = (self.n_elements, shapes)
+        return shapes
 
     # -- strip mining -----------------------------------------------------------
     def effective_vl(self, mvl: int) -> int:

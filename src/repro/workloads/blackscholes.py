@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.isa.builder import KernelBody, KernelBuilder
 from repro.workloads.base import Workload
+from repro.workloads.registry import register_workload
 from repro.workloads.mathlib import (
     CND_A,
     CND_B,
@@ -69,6 +70,7 @@ INVARIANTS = {
 }
 
 
+@register_workload
 class Blackscholes(Workload):
     name = "blackscholes"
     domain = "Financial Analysis"

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.isa.builder import KernelBody, KernelBuilder
 from repro.workloads.base import Workload
+from repro.workloads.registry import register_workload
 from repro.workloads.mathlib import BuilderMath, NumpyMath, poly_exp
 
 #: Particles per box: the fixed Application Vector Length (§V).
@@ -61,6 +62,7 @@ def _interaction(m, xj, yj, zj, qj, c_a2, c_hx, c_hy, c_hz, c_qh):
     return ftot + e * 0.1
 
 
+@register_workload
 class LavaMD(Workload):
     name = "lavamd"
     domain = "Molecular Dynamics"

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.isa.builder import KernelBody, KernelBuilder
 from repro.workloads.base import Workload
+from repro.workloads.registry import register_workload
 from repro.workloads.mathlib import BuilderMath, NumpyMath, poly_exp
 
 #: ZX81-style LCG constants: products stay exact in float64.
@@ -30,6 +31,7 @@ OBSERVED = 0.0
 INV_2SIGMA2 = 0.125
 
 
+@register_workload
 class ParticleFilter(Workload):
     name = "particlefilter"
     domain = "Medical Imaging"

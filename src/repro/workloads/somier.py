@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.isa.builder import KernelBody, KernelBuilder
 from repro.workloads.base import Workload
+from repro.workloads.registry import register_workload
 
 #: Spring stiffness, damping, node mass reciprocal, timestep.
 STIFFNESS = 4.0
@@ -27,6 +28,7 @@ INV_MASS = 0.8
 DT = 0.01
 
 
+@register_workload
 class Somier(Workload):
     name = "somier"
     domain = "Physics Simulation"

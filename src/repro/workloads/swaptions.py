@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.isa.builder import KernelBody, KernelBuilder
 from repro.workloads.base import Workload
+from repro.workloads.registry import register_workload
 from repro.workloads.mathlib import BuilderMath, NumpyMath, poly_exp_small
 
 #: Per-timestep drift and volatility-scale coefficients (hoisted).
@@ -59,6 +60,7 @@ def invariant_table() -> dict:
     return table
 
 
+@register_workload
 class Swaptions(Workload):
     name = "swaptions"
     domain = "Financial Analysis"

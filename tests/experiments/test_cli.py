@@ -53,6 +53,65 @@ def test_figure3_warm_cache_skips_simulation(capsys, cache_args):
     assert "0 simulations executed" in second.err
 
 
+def test_figure3_warm_cache_reports_memoized_compiles(capsys, cache_args):
+    """Warm replays pay key computation only: one compile per distinct
+    (workload, config) pair, zero simulations."""
+    assert main(["figure3", "axpy", "--cache-stats"] + cache_args) == 0
+    capsys.readouterr()
+    assert main(["figure3", "axpy", "--cache-stats"] + cache_args) == 0
+    err = capsys.readouterr().err
+    assert "0 simulations executed, 14 kernel compiles" in err
+
+
+def test_figure3_accepts_extended_workload_names(capsys, cache_args):
+    assert main(["figure3", "pathfinder"] + cache_args) == 0
+    assert "Figure 3 panel: pathfinder" in capsys.readouterr().out
+
+
+def test_figure3_workloads_selector(capsys, cache_args):
+    assert main(["figure3", "all", "--workloads", "pathfinder"]
+                + cache_args) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3 panel: pathfinder" in out
+    assert "Figure 3 panel: axpy" not in out
+
+
+def test_figure3_bare_extended_runs_the_ten_kernel_suite(monkeypatch,
+                                                         capsys, cache_args):
+    """`figure3 --extended` (no positional) means the whole suite, while a
+    bare `figure3` keeps rendering only the default axpy panel."""
+    from types import SimpleNamespace
+
+    import repro.experiments.figure3 as figure3
+    from repro.workloads import ALL_WORKLOAD_NAMES
+
+    seen = []
+
+    def fake_build_panels(names, executor=None):
+        seen.append(list(names))
+        return {n: SimpleNamespace(render=lambda n=n: f"panel {n}")
+                for n in names}
+
+    monkeypatch.setattr(figure3, "build_panels", fake_build_panels)
+    assert main(["figure3", "--extended"] + cache_args) == 0
+    assert main(["figure3"] + cache_args) == 0
+    assert main(["figure3", "somier", "--extended"] + cache_args) == 0
+    assert seen == [ALL_WORKLOAD_NAMES, ["axpy"], ["somier"]]
+    capsys.readouterr()
+
+
+def test_bench_rejects_workloads_selector():
+    with pytest.raises(SystemExit):
+        main(["bench", "engine", "--workloads", "spmv"])
+
+
+def test_unknown_workload_selection_rejected(cache_args):
+    with pytest.raises(SystemExit):
+        main(["figure3", "doom"] + cache_args)
+    with pytest.raises(SystemExit):
+        main(["figure3", "all", "--workloads", "axpy,doom"] + cache_args)
+
+
 def test_unknown_artifact_rejected():
     with pytest.raises(SystemExit):
         main(["figure7"])

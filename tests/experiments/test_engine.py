@@ -185,6 +185,98 @@ def test_duplicate_cells_in_one_batch_simulate_once():
     results = executor.run([cell, cell, cell])
     assert executor.stats.sims_executed == 1
     assert results[0].stats == results[1].stats == results[2].stats
+    # ... and compile once: identical (workload, config) pairs share one
+    # program through the executor's compilation memo.
+    assert executor.stats.compiles == 1
+
+
+def test_compilation_is_memoized_per_workload_config_pair(tmp_path):
+    """At most one compile per distinct (workload, config) pair, hot or cold.
+
+    Cache hits still need the key (which hashes the compiled program), so
+    one compile per pair is the floor — but a full-batch warm replay must
+    not pay one compile *per cell* like it used to."""
+    cells = [
+        Cell(workload="axpy", config=native_config(1)),
+        Cell(workload="axpy", config=native_config(1), warm=False),
+        Cell(workload="axpy", config=ava_config(2)),
+        Cell(workload="blackscholes", config=native_config(1)),
+    ]
+    cold = CellExecutor(cache=ResultCache(tmp_path / "cache"))
+    cold.run(cells)
+    assert cold.stats.compiles == 3  # axpy×2 configs + blackscholes
+    assert cold.stats.sims_executed == 4
+
+    warm = CellExecutor(cache=ResultCache(tmp_path / "cache"))
+    warm.run(cells)
+    assert warm.stats.cache_hits == 4
+    assert warm.stats.sims_executed == 0
+    assert warm.stats.compiles == 3  # key computation only
+    # A second batch on the same executor re-uses the memo entirely.
+    warm.run(cells)
+    assert warm.stats.compiles == 3
+
+
+def test_instance_backed_cells_do_not_share_the_memo():
+    """A mutated Workload instance must never alias a registered name."""
+    small = get_workload("axpy")
+    small.n_elements = 128
+    executor = CellExecutor()
+    config = native_config(1)
+    results = executor.run([Cell(workload=small, config=config),
+                            Cell(workload="axpy", config=config)])
+    assert executor.stats.compiles == 2
+    assert (results[0].stats.cycles != results[1].stats.cycles)
+
+
+def test_instance_memo_lives_per_batch_only():
+    """Mutating an instance between batches must recompile, not replay the
+    stale program — but duplicates within one batch still compile once."""
+    workload = get_workload("axpy")
+    config = native_config(1)
+    executor = CellExecutor()
+    cell = Cell(workload=workload, config=config)
+    first = executor.run([cell, cell])  # one compile for both
+    assert executor.stats.compiles == 1
+
+    workload.n_elements = 128
+    second = executor.run_one(cell)
+    assert executor.stats.compiles == 2  # recompiled after the mutation
+    fresh = CellExecutor().run_one(Cell(workload=workload, config=config))
+    assert second.stats.cycles == fresh.stats.cycles
+    assert second.stats.cycles != first[0].stats.cycles
+
+
+def test_stats_are_consistent_without_a_cache():
+    """cache=None is 'every cell misses', not '0 misses, N simulated'."""
+    executor = CellExecutor()
+    executor.run([Cell(workload="axpy", config=native_config(1)),
+                  Cell(workload="axpy", config=ava_config(2))])
+    stats = executor.stats
+    assert stats.cells_requested == 2
+    assert stats.cache_hits == 0
+    assert stats.cache_misses == 2
+    assert stats.sims_executed == 2
+    assert stats.cache_misses == stats.cells_requested - stats.cache_hits
+    assert "2 misses, 2 simulations executed" in stats.summary()
+
+
+def test_cache_entries_honor_the_umask(tmp_path):
+    """mkstemp's 0600 must not leak into the shared cache directory."""
+    import os
+    import stat
+
+    old = os.umask(0o022)
+    try:
+        cache = ResultCache(tmp_path / "cache")
+        CellExecutor(cache=cache).run_one(
+            Cell(workload="axpy", config=native_config(1)))
+        entries = list((tmp_path / "cache").glob("*.json"))
+        assert len(entries) == 1
+        mode = stat.S_IMODE(entries[0].stat().st_mode)
+        assert mode == 0o644
+    finally:
+        os.umask(old)
 
 
 def test_cache_clear(tmp_path):

@@ -25,7 +25,7 @@ from repro.core.swap import VictimPolicy
 from repro.isa.builder import KernelBuilder
 from repro.vpu.pipeline import VectorPipeline
 from repro.vpu.reference import ReferencePipeline
-from repro.workloads.registry import WORKLOAD_NAMES, get_workload
+from repro.workloads.registry import ALL_WORKLOAD_NAMES, get_workload
 from tests.conftest import compile_kernel
 
 #: The MVL / P-VRF grid every workload is checked on: a single-level
@@ -80,7 +80,7 @@ def _assert_equivalent(workload, program, config, **kwargs):
 @pytest.mark.parametrize("functional", [True, False],
                          ids=["functional", "counters-only"])
 @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
-@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+@pytest.mark.parametrize("name", ALL_WORKLOAD_NAMES)
 def test_scheduler_matches_reference(name, config, functional):
     """Both execution modes: functional moves real data through the VRF;
     counters-only (the default for artifact cells) takes the scheduler's

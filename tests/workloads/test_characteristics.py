@@ -9,7 +9,8 @@ import pytest
 
 from repro import native_config, rg_config
 from repro.compiler.trace import body_pressure
-from repro.workloads import WORKLOAD_NAMES, all_workloads, get_workload
+from repro.workloads import (ALL_WORKLOAD_NAMES, EXTENDED_WORKLOAD_NAMES,
+                             WORKLOAD_NAMES, all_workloads, get_workload)
 
 #: (pressure band, first LMUL that spills or None, memory-fraction band)
 TARGETS = {
@@ -87,3 +88,90 @@ def test_blackscholes_register_usage_near_paper():
     """Paper: the compiler uses 23 logical registers for Blackscholes."""
     alloc = get_workload("blackscholes").compile(native_config(1)).allocation
     assert 17 <= alloc.registers_used <= 26
+
+
+# ---------------------------------------------------------------------------
+# the extended RiVEC-style kernels
+# ---------------------------------------------------------------------------
+#: Same shape as TARGETS: (pressure band, first spilling LMUL, memory band).
+#: These kernels have no paper row; the bands pin the *designed* character
+#: of each (spmv is the indexed-memory stressor, streamcluster the second
+#: high-pressure application) so refactors cannot silently flatten them.
+EXTENDED_TARGETS = {
+    "jacobi2d": ((5, 8), 8, (0.45, 0.60)),
+    "pathfinder": ((4, 7), 8, (0.55, 0.70)),
+    "spmv": ((3, 6), None, (0.70, 0.82)),
+    "streamcluster": ((12, 18), 4, (0.12, 0.30)),
+}
+
+
+def test_extended_registry_order():
+    assert EXTENDED_WORKLOAD_NAMES == ["jacobi2d", "pathfinder", "spmv",
+                                       "streamcluster"]
+    assert ALL_WORKLOAD_NAMES == WORKLOAD_NAMES + EXTENDED_WORKLOAD_NAMES
+
+
+@pytest.mark.parametrize("name", EXTENDED_WORKLOAD_NAMES)
+def test_extended_live_pressure_band(name):
+    lo, hi = EXTENDED_TARGETS[name][0]
+    pressure = body_pressure(get_workload(name).body)
+    assert lo <= pressure <= hi, f"{name}: pressure {pressure}"
+
+
+@pytest.mark.parametrize("name", EXTENDED_WORKLOAD_NAMES)
+def test_extended_spill_threshold(name):
+    first_spill = EXTENDED_TARGETS[name][1]
+    workload = get_workload(name)
+    for lmul in (2, 4, 8):
+        alloc = workload.compile(rg_config(lmul)).allocation
+        if first_spill is None or lmul < first_spill:
+            assert alloc.spill_free, f"{name} spills at LMUL{lmul}"
+        else:
+            assert not alloc.spill_free, f"{name} clean at LMUL{lmul}"
+
+
+@pytest.mark.parametrize("name", EXTENDED_WORKLOAD_NAMES)
+def test_extended_instruction_mix_band(name):
+    lo, hi = EXTENDED_TARGETS[name][2]
+    stats = get_workload(name).compile(native_config(1)).program.stats()
+    assert lo <= stats.memory_fraction <= hi
+
+
+def test_spmv_exercises_the_indexed_memory_path():
+    """The ELL kernel must be dominated by gathers, not unit-stride loads."""
+    from repro.isa.opcodes import Op
+
+    program = get_workload("spmv").compile(native_config(1)).program
+    gathers = sum(1 for i in program.insts if i.op is Op.VLXE)
+    unit_loads = sum(1 for i in program.insts if i.op is Op.VLE)
+    assert gathers > 0 and gathers == unit_loads // 2
+
+
+def test_extended_workloads_are_vector_length_agnostic():
+    for name in EXTENDED_WORKLOAD_NAMES:
+        workload = get_workload(name)
+        assert workload.fixed_avl is None
+        assert workload.effective_vl(128) == 128
+
+
+def test_workload_buffers_are_cached_per_instance():
+    """compile() must not re-allocate every data array per configuration."""
+    workload = get_workload("somier")
+    calls = 0
+    original = workload.init_data
+
+    def counting(rng):
+        nonlocal calls
+        calls += 1
+        return original(rng)
+
+    workload.init_data = counting  # type: ignore[method-assign]
+    first = workload.buffers
+    assert workload.buffers is first
+    workload.compile(native_config(1))
+    workload.compile(rg_config(4))
+    assert calls == 1
+    # Resizing the instance (the equivalence suite does this) recomputes.
+    workload.n_elements = 128
+    assert workload.buffers["pos"] == 128
+    assert calls == 2
