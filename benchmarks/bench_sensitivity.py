@@ -1,0 +1,18 @@
+"""Sensitivity study: machine-axis sweeps over AVA X4/X8 vs NATIVE."""
+
+from _common import publish
+
+from repro.experiments.sensitivity import build_sensitivity
+
+
+def test_sensitivity_study(benchmark):
+    study = benchmark.pedantic(build_sensitivity, rounds=1, iterations=1)
+    publish("sensitivity", study.render())
+
+    # Slower DRAM must widen the NATIVE-vs-AVA gap monotonically at X8 —
+    # the AVA organisation pays for its smaller P-VRF in swap traffic
+    # through the memory hierarchy, and nowhere else.
+    assert study.dram_gap_is_monotone()
+    # Only the two-level AVA organisation generates swap traffic, so the
+    # NATIVE columns must be flat across the DRAM axis.
+    assert len({row.native_x8 for row in study.dram_rows}) == 1

@@ -19,17 +19,19 @@ from repro.core.config import (
     MachineMode,
     ava_config,
     baseline_config,
+    get_machine,
+    machine_names,
     native_config,
     pvrf_registers,
+    register_machine,
     rg_config,
     table1_rows,
 )
 from repro.compiler import AllocationResult, StripSchedule, allocate, unroll_kernel
 from repro.isa import Instruction, KernelBuilder, Program
-from repro.sim import SimResult, Simulator, SimStats
+from repro.sim import CellPolicy, Scenario, SimResult, Simulator, SimStats, build_scenario
 from repro.vpu import TimingParams
-
-__version__ = "1.0.0"
+from repro._version import __version__
 
 __all__ = [
     "MachineConfig",
@@ -38,8 +40,14 @@ __all__ = [
     "baseline_config",
     "native_config",
     "rg_config",
+    "get_machine",
+    "machine_names",
+    "register_machine",
     "pvrf_registers",
     "table1_rows",
+    "CellPolicy",
+    "Scenario",
+    "build_scenario",
     "AllocationResult",
     "StripSchedule",
     "allocate",

@@ -10,7 +10,12 @@ Artifacts:
   :func:`repro.workloads.register_workload`);
 * ``figure4`` — areas and performance/mm²;
 * ``figure5`` — the two floorplans;
-* ``claims`` — every headline claim, paper vs measured.
+* ``claims`` — every headline claim, paper vs measured;
+* ``sweep <spec.json>`` — any (workload × machine × memory × timing ×
+  policy) grid from a declarative JSON spec file naming per-axis presets
+  or inline overrides (see :mod:`repro.experiments.sweep`);
+* ``sensitivity`` — the machine-axis sensitivity study (L2 latency, DRAM
+  penalty, swap budget over AVA X4/X8 vs NATIVE).
 
 Simulation-backed artifacts (``figure3``, ``figure4``, ``claims``) run
 through the experiment-execution engine:
@@ -35,15 +40,19 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables and figures of the AVA paper.")
+    from repro._version import __version__
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     parser.add_argument("artifact",
                         choices=["table1", "table2", "table3", "table4",
                                  "table5", "figure3", "figure4", "figure5",
-                                 "claims", "bench"])
+                                 "claims", "bench", "sweep", "sensitivity"])
     parser.add_argument("workload", nargs="?", default=None,
                         help="application for figure3 (a registered name, "
                              "'all' for Table IV, 'extended' for the "
                              "ten-kernel suite; default: axpy); benchmark "
-                             "name for bench ('engine')")
+                             "name for bench ('engine'); spec file path "
+                             "for sweep")
     parser.add_argument("--extended", action="store_true",
                         help="run the extended ten-kernel suite "
                              "(figure3 [all] / figure4 / claims / "
@@ -130,6 +139,35 @@ def main(argv: list[str] | None = None) -> int:
     elif args.artifact == "figure5":
         from repro.experiments.figure5 import render_figure5
         print(render_figure5())
+    elif args.artifact == "sweep":
+        if not args.workload:
+            parser.error("sweep needs a JSON spec file: repro sweep "
+                         "examples/sensitivity.json")
+        if args.workloads or args.extended:
+            parser.error("--workloads/--extended do not apply to sweep; "
+                         "list the workloads in the spec file")
+        from repro.experiments.sweep import parse_sweep, run_sweep
+        # Only parse-time problems are usage errors; a failure inside the
+        # grid itself must surface as the exception it is.
+        try:
+            parsed = parse_sweep(args.workload)
+        except ValueError as exc:
+            parser.error(str(exc))
+        print(run_sweep(parsed, executor=executor))
+    elif args.artifact == "sensitivity":
+        from repro.experiments.sensitivity import (SENSITIVITY_WORKLOAD,
+                                                   build_sensitivity)
+        if args.extended:
+            parser.error("--extended does not apply to sensitivity")
+        if args.workload in ("all", "extended"):
+            # The positional selectors would re-open the whole-suite blowup
+            # the --extended guard exists to prevent.
+            parser.error("sensitivity runs specific applications; pass a "
+                         "registered name (or --workloads a,b)")
+        names = selection(default=args.workload or SENSITIVITY_WORKLOAD)
+        for name in names:
+            print(build_sensitivity(executor=executor,
+                                    workload=name).render())
     else:
         from repro.experiments.headline import (check_headline_claims,
                                                 render_claims)

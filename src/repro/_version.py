@@ -1,0 +1,36 @@
+"""Single-source package version.
+
+The authoritative version lives in ``pyproject.toml``.  Installed copies
+read it back through importlib metadata; source checkouts run with
+``PYTHONPATH=src`` (no dist-info on disk), so the fallback parses the
+sibling ``pyproject.toml`` directly.  Either way there is exactly one
+place to bump.
+"""
+
+from __future__ import annotations
+
+import re
+from importlib import metadata
+from pathlib import Path
+
+_DIST_NAME = "repro-ava"
+
+
+def _from_pyproject() -> str | None:
+    pyproject = Path(__file__).resolve().parent.parent.parent / "pyproject.toml"
+    try:
+        text = pyproject.read_text()
+    except OSError:
+        return None
+    match = re.search(r'^version\s*=\s*"([^"]+)"', text, re.MULTILINE)
+    return match.group(1) if match else None
+
+
+def _resolve() -> str:
+    try:
+        return metadata.version(_DIST_NAME)
+    except metadata.PackageNotFoundError:
+        return _from_pyproject() or "0.0.0+unknown"
+
+
+__version__ = _resolve()

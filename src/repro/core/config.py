@@ -21,8 +21,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
+from typing import Callable, List
 
 from repro.isa.registers import ELEMENT_BYTES, NUM_LOGICAL_VREGS
+from repro.registry import PresetRegistry
 
 #: Baseline MVL (elements) of the short-vector design.
 BASE_MVL = 16
@@ -168,3 +170,53 @@ def table1_rows() -> list[tuple[int, int]]:
     """Table I as (P-regs, MVL) pairs, in the paper's column order."""
     return [(pvrf_registers(mvl), mvl)
             for mvl in (16, 32, 48, 64, 80, 96, 112, 128)]
+
+
+# ---------------------------------------------------------------------------
+# machine registry: named presets for the scenario layer's machine axis
+# ---------------------------------------------------------------------------
+# Factories (not instances) keep the registry cheap to import and
+# guarantee every lookup returns a fresh frozen MachineConfig, mirroring
+# how the workload registry instantiates per lookup.
+_MACHINE_REGISTRY: PresetRegistry[MachineConfig] = \
+    PresetRegistry("machine preset")
+
+
+def register_machine(name: str,
+                     factory: Callable[[], MachineConfig]) -> None:
+    """Add a named machine preset (the ``register_workload`` pattern).
+
+    Re-registering the same factory under its name is a no-op; claiming a
+    name another factory already holds raises ``ValueError`` so plugins
+    cannot silently shadow the paper's configuration matrix.
+    """
+    _MACHINE_REGISTRY.register(name, factory)
+
+
+def unregister_machine(name: str) -> bool:
+    """Remove ``name`` from the registry (plugin/test cleanup hook)."""
+    return _MACHINE_REGISTRY.unregister(name)
+
+
+def get_machine(name: str) -> MachineConfig:
+    """Instantiate a machine preset by its registered name."""
+    return _MACHINE_REGISTRY.get(name)
+
+
+def machine_names() -> List[str]:
+    """Every registered machine-preset name, sorted."""
+    return _MACHINE_REGISTRY.names()
+
+
+def _register_builtin_machines() -> None:
+    """The Tables II/III matrix under canonical kebab-case names."""
+    for scale in SCALE_FACTORS:
+        register_machine(f"native-x{scale}",
+                         lambda s=scale: native_config(s))
+        register_machine(f"ava-x{scale}", lambda s=scale: ava_config(s))
+    for lmul in LMUL_VALUES:
+        register_machine(f"rg-lmul{lmul}", lambda l=lmul: rg_config(l))
+    register_machine("baseline", baseline_config)
+
+
+_register_builtin_machines()

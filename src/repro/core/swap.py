@@ -45,19 +45,26 @@ class SwapLogic:
         self.rac = rac
         self.vrf = vrf
         self.policy = policy
-        self._allocation_order: list[int] = []  # FIFO policy state
+        # FIFO policy state: an insertion-ordered dict used as an ordered
+        # set, so releases are O(1) dict pops instead of O(n) list removes
+        # (long-resident grids used to pay quadratic cost on the release
+        # path).  Iteration order == allocation order, same as the list it
+        # replaces.
+        self._allocation_order: dict[int, None] = {}
         self._rr_pointer = 0
 
     # -- bookkeeping hooks (called by the pipeline) ------------------------------
     # Allocation order is only ever read by the FIFO policy, so the other
-    # policies skip the O(n) list maintenance on the commit/release path.
+    # policies skip the bookkeeping on the commit/release path entirely.
     def note_allocation(self, vvr: int) -> None:
         if self.policy is VictimPolicy.FIFO:
-            self._allocation_order.append(vvr)
+            # A release always precedes re-allocation, so plain assignment
+            # appends at the end — the position a remove+append would give.
+            self._allocation_order[vvr] = None
 
     def note_release(self, vvr: int) -> None:
-        if self.policy is VictimPolicy.FIFO and vvr in self._allocation_order:
-            self._allocation_order.remove(vvr)
+        if self.policy is VictimPolicy.FIFO:
+            self._allocation_order.pop(vvr, None)
 
     # -- reclamation ---------------------------------------------------------------
     def reclaimable_vvr(self, excluded: Iterable[int] = ()) -> Optional[int]:

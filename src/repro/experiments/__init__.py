@@ -5,8 +5,11 @@
 * :mod:`repro.experiments.engine` — the unified execution engine: sweep
   specs, the inline/parallel cell executor and the persistent
   content-addressed result cache every artifact shares;
-* :mod:`repro.experiments.runner` — compatibility shim over the engine
-  that decorates statistics with speedups and energy reports;
+* :mod:`repro.experiments.sweep` — JSON sweep-spec files: named axis
+  presets (machine / memory / timing / policy) expanded into engine grids
+  behind the ``repro sweep`` CLI artifact;
+* :mod:`repro.experiments.sensitivity` — the machine-axis sensitivity
+  study (L2 latency × DRAM penalty × swap budget over AVA vs NATIVE);
 * :mod:`repro.experiments.figure3` — the six per-application panels
   (memory-instruction breakdown, instruction mix, execution time/speedup,
   energy);
@@ -30,10 +33,24 @@ from repro.experiments.engine import (
     CellPolicy,
     CellResult,
     ResultCache,
+    RunRecord,
     SweepSpec,
     make_executor,
 )
-from repro.experiments.runner import RunRecord, run_cell, run_series
+from repro.experiments.sensitivity import build_sensitivity
+from repro.experiments.sweep import parse_sweep, run_sweep
+
+
+def __getattr__(name: str):
+    # run_cell / run_series live in the deprecated runner stub; importing
+    # them lazily keeps `import repro.experiments` warning-free while the
+    # old names keep resolving (with the stub's DeprecationWarning) for
+    # one more release.
+    if name in ("run_cell", "run_series"):
+        from repro.experiments import runner
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "figure3_series",
@@ -48,6 +65,7 @@ __all__ = [
     "SweepSpec",
     "make_executor",
     "RunRecord",
-    "run_cell",
-    "run_series",
+    "build_sensitivity",
+    "parse_sweep",
+    "run_sweep",
 ]

@@ -4,9 +4,9 @@ Every artifact of the paper boils down to a grid of independent
 (workload × configuration × timing-params × policy-knob) simulation
 *cells*.  This module makes that grid explicit and executes it once:
 
-* :class:`Cell` — one simulation, fully described by data
-  (what :func:`repro.experiments.runner.run_cell` used to take as loose
-  arguments);
+* :class:`Cell` — one simulation, fully described by data: a workload
+  plus the machine-side scenario axes (machine config, timing params,
+  memory system, policy);
 * :class:`SweepSpec` — a declarative grid that enumerates cells in a
   deterministic order, so new sweeps are data, not new code;
 * :class:`ResultCache` — a persistent, content-addressed store of
@@ -31,16 +31,17 @@ import json
 import os
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.config import MachineConfig, MachineMode
-from repro.core.swap import VictimPolicy
+from repro.core.config import MachineConfig
 from repro.isa.program import Program
+from repro.memory.hierarchy import MemorySystemConfig
 from repro.power.mcpat import EnergyReport, McPatModel
+from repro.sim.scenario import CellPolicy, Scenario
 from repro.sim.simulator import Simulator
 from repro.sim.stats import SimStats
 from repro.vpu.params import DEFAULT_TIMING, TimingParams
@@ -55,7 +56,10 @@ DATA_SEED = 42
 #: changes in a way the content hash cannot see.
 #: Schema 2: ``stats`` payloads carry the event-driven scheduler's
 #: ``events_processed`` / ``cycles_skipped`` counters.
-CACHE_SCHEMA = 2
+#: Schema 3: keys hash the cell's full :class:`~repro.sim.scenario.Scenario`
+#: (machine + timing + memory system + policy) — entries can never collide
+#: across memory or timing presets.
+CACHE_SCHEMA = 3
 
 #: Default on-disk location of the persistent result cache.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -65,31 +69,22 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 # cell description
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
-class CellPolicy:
-    """The simulator policy knobs the ablations sweep."""
-
-    victim_policy: VictimPolicy = VictimPolicy.RAC_MIN
-    aggressive_reclamation: bool = True
-
-    def to_key(self) -> dict:
-        return {"victim_policy": self.victim_policy.value,
-                "aggressive_reclamation": self.aggressive_reclamation}
-
-
-@dataclass(frozen=True)
 class Cell:
-    """One (workload, configuration) simulation, fully described by data.
+    """One (workload, scenario) simulation, fully described by data.
 
     ``workload`` is normally a Table-IV registry name; passing a
     :class:`~repro.workloads.base.Workload` instance is allowed for
     out-of-registry kernels (the cache key hashes the compiled program, so
-    the name is never trusted on its own).
+    the name is never trusted on its own).  ``params``/``memsys`` left at
+    ``None`` mean the paper's defaults — :meth:`scenario` folds all four
+    machine-side axes into one frozen bundle.
     """
 
     workload: Union[str, Workload]
     config: MachineConfig
     params: Optional[TimingParams] = None
     policy: CellPolicy = CellPolicy()
+    memsys: Optional[MemorySystemConfig] = None
     functional: bool = False
     warm: bool = True
     check: bool = False
@@ -108,10 +103,29 @@ class Cell:
             return get_workload(self.workload)
         return self.workload
 
+    def scenario(self) -> Scenario:
+        """The cell's machine-side axes as one frozen scenario."""
+        return Scenario(
+            machine=self.config,
+            timing=self.params if self.params is not None else DEFAULT_TIMING,
+            memory=(self.memsys if self.memsys is not None
+                    else MemorySystemConfig()),
+            policy=self.policy)
+
+    @classmethod
+    def from_scenario(cls, workload: Union[str, Workload],
+                      scenario: Scenario, *, functional: bool = False,
+                      warm: bool = True, check: bool = False) -> "Cell":
+        """Build a cell from a scenario bundle (inverse of :meth:`scenario`)."""
+        return cls(workload=workload, config=scenario.machine,
+                   params=scenario.timing, policy=scenario.policy,
+                   memsys=scenario.memory, functional=functional,
+                   warm=warm, check=check)
+
 
 @dataclass
 class SweepSpec:
-    """A declarative (workload × config × params × policy) grid.
+    """A declarative (workload × config × params × memsys × policy) grid.
 
     :meth:`cells` enumerates the full cartesian product in a fixed nested
     order — workload outermost, policy innermost — so a spec always expands
@@ -121,32 +135,35 @@ class SweepSpec:
     workloads: Sequence[Union[str, Workload]]
     configs: Sequence[MachineConfig]
     params: Sequence[Optional[TimingParams]] = (None,)
+    memsys: Sequence[Optional[MemorySystemConfig]] = (None,)
     policies: Sequence[CellPolicy] = (CellPolicy(),)
     functional: bool = False
     warm: bool = True
     check: bool = False
 
     def cells(self) -> List[Cell]:
-        return [Cell(workload=w, config=cfg, params=p, policy=pol,
-                     functional=self.functional, warm=self.warm,
+        return [Cell(workload=w, config=cfg, params=p, memsys=mem,
+                     policy=pol, functional=self.functional, warm=self.warm,
                      check=self.check)
                 for w in self.workloads
                 for cfg in self.configs
                 for p in self.params
+                for mem in self.memsys
                 for pol in self.policies]
 
     def __len__(self) -> int:
         return (len(self.workloads) * len(self.configs) * len(self.params)
-                * len(self.policies))
+                * len(self.memsys) * len(self.policies))
 
     def chunk_by_workload(self, results: Sequence["CellResult"]
                           ) -> List[Tuple[str, List["CellResult"]]]:
         """Split a :meth:`cells`-ordered result list per workload.
 
-        Owns the stride arithmetic (configs × params × policies), so
-        consumers stay correct if a spec grows extra axes.
+        Owns the stride arithmetic (configs × params × memsys × policies),
+        so consumers stay correct if a spec grows extra axes.
         """
-        stride = len(self.configs) * len(self.params) * len(self.policies)
+        stride = (len(self.configs) * len(self.params) * len(self.memsys)
+                  * len(self.policies))
         if len(results) != stride * len(self.workloads):
             raise ValueError(
                 f"expected {stride * len(self.workloads)} results for this "
@@ -166,6 +183,49 @@ class CellResult:
     correct: Optional[bool] = None
     key: str = ""
     from_cache: bool = False
+
+
+@dataclass
+class RunRecord:
+    """One rendered cell: statistics decorated with a relative speedup.
+
+    Historically the result type of ``repro.experiments.runner``; the
+    figure renderers consume it, so it lives with the engine now that the
+    runner module is a deprecation stub.
+    """
+
+    config: MachineConfig
+    stats: SimStats
+    energy: EnergyReport
+    correct: Optional[bool] = None
+    speedup: float = field(default=1.0)
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+
+def record_from_result(result: CellResult) -> RunRecord:
+    """Adapt an engine result to the renderers' record type."""
+    return RunRecord(config=result.cell.config, stats=result.stats,
+                     energy=result.energy, correct=result.correct)
+
+
+def fill_speedups(records: List[RunRecord],
+                  baseline_index: int = 0) -> List[RunRecord]:
+    """Decorate records with speedups vs the baseline entry, in place."""
+    base_cycles = records[baseline_index].cycles
+    for record in records:
+        record.speedup = base_cycles / record.cycles if record.cycles else 0.0
+    return records
+
+
+def average_speedups(per_workload: Dict[str, List[RunRecord]]) -> List[float]:
+    """Geometric-mean-free average speedup per series position (Fig. 4)."""
+    n = min(len(records) for records in per_workload.values())
+    return [float(np.mean([records[i].speedup
+                           for records in per_workload.values()]))
+            for i in range(n)]
 
 
 # ---------------------------------------------------------------------------
@@ -220,42 +280,35 @@ def program_fingerprint(program: Program) -> str:
     return hashlib.sha256("".join(parts).encode()).hexdigest()
 
 
-# Memo for the reflection-heavy key dicts; both dataclasses are frozen
-# and hashable, so equal configs share one entry and the cache stays as
-# small as the set of distinct configurations ever keyed.
-_KEY_CACHE: Dict[object, dict] = {}
+# Memo for the reflection-heavy scenario key dicts; Scenario is frozen and
+# hashable, so equal scenarios (however many cells reference them) share
+# one entry and the cache stays as small as the set of distinct scenarios
+# ever keyed.
+_KEY_CACHE: Dict[Scenario, dict] = {}
 
 
-def _config_key(config: MachineConfig) -> dict:
-    key = _KEY_CACHE.get(config)
+def _scenario_key(scenario: Scenario) -> dict:
+    key = _KEY_CACHE.get(scenario)
     if key is None:
-        key = {f.name: (getattr(config, f.name).value
-                        if isinstance(getattr(config, f.name), MachineMode)
-                        else getattr(config, f.name))
-               for f in fields(config)}
-        _KEY_CACHE[config] = key
-    return key
-
-
-def _params_key(params: Optional[TimingParams]) -> dict:
-    params = params or DEFAULT_TIMING
-    key = _KEY_CACHE.get(params)
-    if key is None:
-        key = {f.name: getattr(params, f.name) for f in fields(params)}
-        _KEY_CACHE[params] = key
+        key = scenario.to_dict()
+        _KEY_CACHE[scenario] = key
     return key
 
 
 def cell_key(cell: Cell, program: Program) -> str:
-    """The cache key: every input that can change the cell's results."""
+    """The cache key: every input that can change the cell's results.
+
+    The machine-side inputs are hashed as the cell's *full scenario* —
+    machine config, timing params, memory-system config and policy — so
+    entries can never collide across memory or timing presets (before the
+    scenario layer, the memory system was invisible to the key).
+    """
     payload = {
         "schema": CACHE_SCHEMA,
         "code": code_fingerprint(),
         "data_seed": DATA_SEED,
         "workload": cell.workload_name,
-        "config": _config_key(cell.config),
-        "params": _params_key(cell.params),
-        "policy": cell.policy.to_key(),
+        "scenario": _scenario_key(cell.scenario()),
         "functional": cell.functional or cell.check,
         "warm": cell.warm,
         "check": cell.check,
@@ -346,10 +399,7 @@ def _execute_cell(job: Tuple[Cell, Program]) -> dict:
     cell, program = job
     workload = cell.resolve_workload()
     functional = cell.functional or cell.check
-    sim = Simulator(cell.config, program, params=cell.params,
-                    functional=functional,
-                    victim_policy=cell.policy.victim_policy,
-                    aggressive_reclamation=cell.policy.aggressive_reclamation)
+    sim = Simulator(cell.scenario(), program, functional=functional)
     rng = np.random.default_rng(DATA_SEED)
     data = workload.init_data(rng)
     if functional:

@@ -15,10 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.engine import CellExecutor, figure3_spec
-from repro.experiments.rendering import render_bars, render_table
-from repro.experiments.runner import (RunRecord, fill_speedups,
+from repro.experiments.engine import (CellExecutor, RunRecord,
+                                      figure3_spec, fill_speedups,
                                       record_from_result)
+from repro.experiments.rendering import render_bars, render_table
 from repro.vpu.params import TimingParams
 
 

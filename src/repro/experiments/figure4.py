@@ -13,10 +13,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import SCALE_FACTORS, ava_config, native_config
-from repro.experiments.engine import CellExecutor, SweepSpec
+from repro.experiments.engine import (CellExecutor, RunRecord, SweepSpec,
+                                      fill_speedups, record_from_result)
 from repro.experiments.rendering import render_table
-from repro.experiments.runner import (RunRecord, fill_speedups,
-                                      record_from_result)
 from repro.power.mcpat import AreaReport, McPatModel
 from repro.vpu.params import TimingParams
 from repro.workloads.registry import WORKLOAD_NAMES

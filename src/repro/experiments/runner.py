@@ -1,56 +1,47 @@
-"""Compatibility shim over :mod:`repro.experiments.engine`.
+"""DEPRECATED compatibility stub over :mod:`repro.experiments.engine`.
 
-The original harness ran each (workload × configuration) cell through a
-hand-rolled serial loop here.  Execution now lives in the engine — this
-module keeps the historical API (:func:`run_cell`, :func:`run_series`,
-:class:`RunRecord`) as thin wrappers so callers and tests keep working,
-and gains an optional ``executor`` argument for parallel/cached runs.
+The hand-rolled serial harness that once lived here was replaced by the
+experiment-execution engine in PR 1, and the record helpers
+(:class:`RunRecord`, :func:`record_from_result`, :func:`fill_speedups`,
+:func:`average_speedups`) moved into the engine itself when the scenario
+layer landed.  Import everything from ``repro.experiments.engine`` instead;
+this module survives for exactly one release and emits a
+``DeprecationWarning`` on import.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
-
-import numpy as np
+import warnings
+from typing import List, Optional
 
 from repro.core.config import MachineConfig
 from repro.experiments.engine import DATA_SEED  # noqa: F401  (re-export)
-from repro.experiments.engine import Cell, CellExecutor, CellResult
-from repro.power.mcpat import EnergyReport, McPatModel
-from repro.sim.stats import SimStats
+from repro.experiments.engine import (
+    Cell,
+    CellExecutor,
+    RunRecord,
+    average_speedups,
+    fill_speedups,
+    record_from_result,
+)
+from repro.power.mcpat import McPatModel
 from repro.vpu.params import TimingParams
 from repro.workloads.base import Workload
 
+__all__ = [
+    "DATA_SEED",
+    "RunRecord",
+    "record_from_result",
+    "fill_speedups",
+    "average_speedups",
+    "run_cell",
+    "run_series",
+]
 
-@dataclass
-class RunRecord:
-    """One cell of a Fig. 3 panel."""
-
-    config: MachineConfig
-    stats: SimStats
-    energy: EnergyReport
-    correct: Optional[bool] = None
-    speedup: float = field(default=1.0)
-
-    @property
-    def cycles(self) -> int:
-        return self.stats.cycles
-
-
-def record_from_result(result: CellResult) -> RunRecord:
-    """Adapt an engine result to the historical record type."""
-    return RunRecord(config=result.cell.config, stats=result.stats,
-                     energy=result.energy, correct=result.correct)
-
-
-def fill_speedups(records: List[RunRecord],
-                  baseline_index: int = 0) -> List[RunRecord]:
-    """Decorate records with speedups vs the baseline entry, in place."""
-    base_cycles = records[baseline_index].cycles
-    for record in records:
-        record.speedup = base_cycles / record.cycles if record.cycles else 0.0
-    return records
+warnings.warn(
+    "repro.experiments.runner is deprecated and will be removed in the "
+    "next release; import from repro.experiments.engine instead",
+    DeprecationWarning, stacklevel=2)
 
 
 def run_cell(workload: Workload, config: MachineConfig,
@@ -60,11 +51,7 @@ def run_cell(workload: Workload, config: MachineConfig,
              check: bool = False,
              mcpat: Optional[McPatModel] = None,
              executor: Optional[CellExecutor] = None) -> RunRecord:
-    """Simulate one workload on one configuration.
-
-    ``check=True`` forces functional mode and verifies the output buffers
-    against the workload's numpy oracle.
-    """
+    """Deprecated: build a :class:`Cell` and use a :class:`CellExecutor`."""
     executor = executor or CellExecutor()
     result = executor.run_one(Cell(
         workload=workload, config=config, params=params,
@@ -82,18 +69,10 @@ def run_series(workload: Workload, configs: List[MachineConfig],
                params: Optional[TimingParams] = None,
                check: bool = False,
                executor: Optional[CellExecutor] = None) -> List[RunRecord]:
-    """Run a configuration series and fill in speedups vs the baseline."""
+    """Deprecated: expand a :class:`~repro.experiments.engine.SweepSpec`."""
     executor = executor or CellExecutor()
     results = executor.run([Cell(workload=workload, config=cfg,
                                  params=params, check=check)
                             for cfg in configs])
     return fill_speedups([record_from_result(r) for r in results],
                          baseline_index)
-
-
-def average_speedups(per_workload: Dict[str, List[RunRecord]]) -> List[float]:
-    """Geometric-mean-free average speedup per series position (Fig. 4)."""
-    n = min(len(records) for records in per_workload.values())
-    return [float(np.mean([records[i].speedup
-                           for records in per_workload.values()]))
-            for i in range(n)]

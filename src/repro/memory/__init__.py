@@ -14,6 +14,12 @@ counters).
 from repro.memory.cache import Cache, CacheConfig, CacheStats
 from repro.memory.dram import Dram, DramConfig
 from repro.memory.hierarchy import MemorySystem, MemorySystemConfig
+from repro.memory.presets import (
+    get_memory_system,
+    memory_system_names,
+    register_memory_system,
+    unregister_memory_system,
+)
 
 __all__ = [
     "Cache",
@@ -23,4 +29,8 @@ __all__ = [
     "DramConfig",
     "MemorySystem",
     "MemorySystemConfig",
+    "get_memory_system",
+    "memory_system_names",
+    "register_memory_system",
+    "unregister_memory_system",
 ]

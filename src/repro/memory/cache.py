@@ -26,6 +26,16 @@ class CacheConfig:
     latency: int = 12
 
     def __post_init__(self) -> None:
+        # Full validation up front: a bad sweep preset must fail when the
+        # spec is parsed, not mid-grid inside a worker process.
+        if self.line_bytes <= 0:
+            raise ValueError(f"{self.name}: line size must be positive")
+        if self.associativity <= 0:
+            raise ValueError(f"{self.name}: associativity must be positive")
+        if self.size_bytes <= 0:
+            raise ValueError(f"{self.name}: size must be positive")
+        if self.latency <= 0:
+            raise ValueError(f"{self.name}: latency must be positive")
         if self.size_bytes % (self.line_bytes * self.associativity):
             raise ValueError(
                 f"{self.name}: size must be a multiple of line*assoc")

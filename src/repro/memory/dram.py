@@ -18,6 +18,12 @@ class DramConfig:
     latency: int = 80
     line_transfer: int = 4  # 512-bit line over a 128-bit DDR interface
 
+    def __post_init__(self) -> None:
+        if self.latency <= 0:
+            raise ValueError("DRAM latency must be positive")
+        if self.line_transfer <= 0:
+            raise ValueError("DRAM line-transfer cost must be positive")
+
 
 @dataclass
 class Dram:

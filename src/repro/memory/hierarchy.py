@@ -30,6 +30,19 @@ class MemorySystemConfig:
     #: 512-bit VMU interface = 8 × 64-bit elements per beat.
     vector_interface_bytes: int = 64
 
+    def __post_init__(self) -> None:
+        # The CacheConfig/DramConfig members validate themselves on
+        # construction; what remains is the composition.
+        if self.vector_interface_bytes <= 0:
+            raise ValueError("vector interface width must be positive")
+        for cache in (self.l1i, self.l1d, self.l2):
+            if not isinstance(cache, CacheConfig):
+                raise TypeError(
+                    f"expected a CacheConfig, got {type(cache).__name__}")
+        if not isinstance(self.dram, DramConfig):
+            raise TypeError(
+                f"expected a DramConfig, got {type(self.dram).__name__}")
+
 
 class MemorySystem:
     """L1I + L1D + unified L2 + DRAM, shared by timing and energy models."""

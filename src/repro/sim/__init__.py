@@ -12,6 +12,7 @@ collects :class:`repro.sim.stats.SimStats`.
 """
 
 from repro.sim.layout import MemoryLayout
+from repro.sim.scenario import CellPolicy, Scenario, build_scenario
 from repro.sim.stats import SimStats
 from repro.sim.simulator import Simulator, SimResult
 from repro.sim.golden import GoldenExecutor
@@ -19,6 +20,9 @@ from repro.sim.trace import TraceEvent, TraceRecorder
 
 __all__ = [
     "MemoryLayout",
+    "CellPolicy",
+    "Scenario",
+    "build_scenario",
     "SimStats",
     "Simulator",
     "SimResult",

@@ -1,0 +1,161 @@
+"""The declarative scenario layer: one frozen bundle per machine-side axis.
+
+A :class:`Scenario` pins everything about the simulated machine that is not
+the workload: the machine configuration (Tables I–III), the VPU timing
+parameters, the memory hierarchy, and the simulator policy knobs.  The
+workload axis was opened by the workload registry; this module opens the
+remaining axes the same way — every component resolves from a named,
+registry-backed preset:
+
+* machine — :func:`repro.core.config.get_machine` (``native-x1`` ..
+  ``ava-x8``, ``rg-lmul1`` .. ``rg-lmul8``, ``baseline``);
+* memory — :func:`repro.memory.presets.get_memory_system` (``table2``,
+  ``half-l2``, ``slow-l2``, ``slow-dram``, ``fast-dram``);
+* timing — :func:`repro.vpu.params.get_timing` (``default``,
+  ``single-swap``, ``wide-swap``, ``deep-queues``, ``shallow-queues``);
+* policy — the :class:`CellPolicy` knobs the ablations sweep.
+
+Scenarios serialise to plain JSON (:meth:`Scenario.to_dict` /
+:meth:`Scenario.from_dict`, exact round-trip) so they can live in sweep
+spec files and inside the result cache's content-addressed keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Optional, Union
+
+from repro.core.config import MachineConfig, MachineMode, get_machine
+from repro.core.swap import VictimPolicy
+from repro.memory.dram import DramConfig
+from repro.memory.cache import CacheConfig
+from repro.memory.hierarchy import MemorySystemConfig
+from repro.memory.presets import get_memory_system
+from repro.vpu.params import DEFAULT_TIMING, TimingParams, get_timing
+
+
+@dataclass(frozen=True)
+class CellPolicy:
+    """The simulator policy knobs the ablations sweep."""
+
+    victim_policy: VictimPolicy = VictimPolicy.RAC_MIN
+    aggressive_reclamation: bool = True
+
+    def to_key(self) -> dict:
+        return {"victim_policy": self.victim_policy.value,
+                "aggressive_reclamation": self.aggressive_reclamation}
+
+    # ``to_key`` predates the scenario layer and is its exact JSON form.
+    to_dict = to_key
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellPolicy":
+        return cls(victim_policy=VictimPolicy(data["victim_policy"]),
+                   aggressive_reclamation=bool(
+                       data["aggressive_reclamation"]))
+
+
+def _scalars_to_dict(obj) -> dict:
+    return {f.name: getattr(obj, f.name) for f in fields(obj)}
+
+
+def _machine_to_dict(config: MachineConfig) -> dict:
+    data = _scalars_to_dict(config)
+    data["mode"] = config.mode.value
+    return data
+
+
+def _machine_from_dict(data: dict) -> MachineConfig:
+    return MachineConfig(**{**data, "mode": MachineMode(data["mode"])})
+
+
+def _memory_to_dict(config: MemorySystemConfig) -> dict:
+    return {
+        "l1i": _scalars_to_dict(config.l1i),
+        "l1d": _scalars_to_dict(config.l1d),
+        "l2": _scalars_to_dict(config.l2),
+        "dram": _scalars_to_dict(config.dram),
+        "vector_interface_bytes": config.vector_interface_bytes,
+    }
+
+
+def _memory_from_dict(data: dict) -> MemorySystemConfig:
+    return MemorySystemConfig(
+        l1i=CacheConfig(**data["l1i"]),
+        l1d=CacheConfig(**data["l1d"]),
+        l2=CacheConfig(**data["l2"]),
+        dram=DramConfig(**data["dram"]),
+        vector_interface_bytes=data["vector_interface_bytes"],
+    )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Machine config + timing + memory system + policy, as one value.
+
+    Frozen and hashable: two scenarios built from the same presets compare
+    equal, key the same memo entries, and hash to the same result-cache
+    key.  The default scenario (any machine, everything else defaulted)
+    reproduces the paper's platform exactly.
+    """
+
+    machine: MachineConfig
+    timing: TimingParams = DEFAULT_TIMING
+    memory: MemorySystemConfig = MemorySystemConfig()
+    policy: CellPolicy = CellPolicy()
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form; exact inverse of :meth:`from_dict`."""
+        return {
+            "machine": _machine_to_dict(self.machine),
+            "timing": _scalars_to_dict(self.timing),
+            "memory": _memory_to_dict(self.memory),
+            "policy": self.policy.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        return cls(
+            machine=_machine_from_dict(data["machine"]),
+            timing=TimingParams(**data["timing"]),
+            memory=_memory_from_dict(data["memory"]),
+            policy=CellPolicy.from_dict(data["policy"]),
+        )
+
+
+def build_scenario(
+        machine: Union[str, MachineConfig],
+        timing: Union[str, TimingParams, None] = None,
+        memory: Union[str, MemorySystemConfig, None] = None,
+        policy: Union[str, CellPolicy, None] = None) -> Scenario:
+    """Resolve per-axis preset names (or instances) into a Scenario.
+
+    Strings go through the axis registries (for ``policy``, a
+    :class:`~repro.core.swap.VictimPolicy` name like ``"fifo"``); ``None``
+    means the paper's default for that axis.  This is the single
+    resolution point the sweep spec parser, the sensitivity study and
+    user code share — a wrong-typed axis fails here, not deep inside the
+    pipeline.
+    """
+    if isinstance(machine, str):
+        machine = get_machine(machine)
+    if isinstance(timing, str):
+        timing = get_timing(timing)
+    if isinstance(memory, str):
+        memory = get_memory_system(memory)
+    if isinstance(policy, str):
+        policy = CellPolicy(victim_policy=VictimPolicy(policy))
+    for axis, value, expected in (("machine", machine, MachineConfig),
+                                  ("timing", timing, TimingParams),
+                                  ("memory", memory, MemorySystemConfig),
+                                  ("policy", policy, CellPolicy)):
+        if value is not None and not isinstance(value, expected):
+            raise TypeError(
+                f"{axis} must be a preset name or a "
+                f"{expected.__name__}, got {type(value).__name__}")
+    return Scenario(
+        machine=machine,
+        timing=timing if timing is not None else DEFAULT_TIMING,
+        memory=memory if memory is not None else MemorySystemConfig(),
+        policy=policy if policy is not None else CellPolicy(),
+    )

@@ -19,6 +19,7 @@ from repro.core.config import MachineConfig
 from repro.core.swap import VictimPolicy
 from repro.isa.program import Program
 from repro.memory.hierarchy import MemorySystem
+from repro.sim.scenario import Scenario
 from repro.sim.stats import SimStats
 from repro.vpu.params import TimingParams
 from repro.vpu.pipeline import VectorPipeline
@@ -40,17 +41,27 @@ class SimResult:
 
 
 class Simulator:
-    """One (configuration, program) simulation."""
+    """One (configuration, program) simulation.
 
-    def __init__(self, config: MachineConfig, program: Program,
+    The first argument is either a bare :class:`MachineConfig` (paper
+    defaults for every other machine axis) or a full
+    :class:`~repro.sim.scenario.Scenario` bundling machine, timing, memory
+    system and policy.
+    """
+
+    def __init__(self, config: "MachineConfig | Scenario", program: Program,
                  params: Optional[TimingParams] = None,
                  functional: bool = False,
                  memsys: Optional[MemorySystem] = None,
                  victim_policy: VictimPolicy = VictimPolicy.RAC_MIN,
                  aggressive_reclamation: bool = True) -> None:
-        self.config = config
+        self.config = (config.machine if isinstance(config, Scenario)
+                       else config)
         self.program = program
         self.functional = functional
+        # The pipeline owns the only scenario-vs-loose-kwargs guard:
+        # forwarding everything keeps a single source of truth for the
+        # "not both" rule.
         self.pipeline = VectorPipeline(
             config, program, params=params, memsys=memsys,
             functional=functional, victim_policy=victim_policy,

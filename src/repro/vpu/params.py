@@ -13,7 +13,10 @@ values for every machine family, so comparisons stay honest.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Callable, List
+
+from repro.registry import PresetRegistry
 
 
 @dataclass(frozen=True)
@@ -55,6 +58,13 @@ class TimingParams:
             raise ValueError("need at least one lane")
         if self.scalar_clock_ratio <= 0:
             raise ValueError("scalar clock ratio must be positive")
+        for knob in ("dispatch_queue_depth", "pre_issue_depth",
+                     "arith_queue_depth", "mem_queue_depth", "rob_entries",
+                     "commit_width", "preissue_swap_budget"):
+            if getattr(self, knob) < 1:
+                raise ValueError(f"{knob} must be at least 1")
+        if self.arith_dead_time < 0 or self.mem_dead_time < 0:
+            raise ValueError("dead times cannot be negative")
 
     def arith_beats(self, vl: int, beats_per_element: float) -> int:
         """Cycles the arithmetic unit is occupied by a ``vl``-element op."""
@@ -67,3 +77,49 @@ class TimingParams:
 
 #: Default parameter set shared by every experiment.
 DEFAULT_TIMING = TimingParams()
+
+
+# ---------------------------------------------------------------------------
+# timing registry: named presets for the scenario layer's timing axis
+# ---------------------------------------------------------------------------
+_TIMING_REGISTRY: PresetRegistry[TimingParams] = \
+    PresetRegistry("timing preset")
+
+
+def register_timing(name: str, factory: Callable[[], TimingParams]) -> None:
+    """Add a named timing preset (the ``register_workload`` pattern).
+
+    Re-registering the same factory is a no-op; claiming a name another
+    factory already holds raises ``ValueError``.
+    """
+    _TIMING_REGISTRY.register(name, factory)
+
+
+def unregister_timing(name: str) -> bool:
+    """Remove ``name`` from the registry (plugin/test cleanup hook)."""
+    return _TIMING_REGISTRY.unregister(name)
+
+
+def get_timing(name: str) -> TimingParams:
+    """Instantiate a timing preset by its registered name."""
+    return _TIMING_REGISTRY.get(name)
+
+
+def timing_names() -> List[str]:
+    """Every registered timing-preset name, sorted."""
+    return _TIMING_REGISTRY.names()
+
+
+#: Builtin presets: the calibrated default plus the swap-budget and
+#: queue-depth departures the sensitivity study sweeps.
+register_timing("default", TimingParams)
+register_timing("single-swap",
+                lambda: replace(DEFAULT_TIMING, preissue_swap_budget=1))
+register_timing("wide-swap",
+                lambda: replace(DEFAULT_TIMING, preissue_swap_budget=4))
+register_timing("deep-queues",
+                lambda: replace(DEFAULT_TIMING, arith_queue_depth=64,
+                                mem_queue_depth=64, pre_issue_depth=8))
+register_timing("shallow-queues",
+                lambda: replace(DEFAULT_TIMING, arith_queue_depth=8,
+                                mem_queue_depth=8, pre_issue_depth=2))

@@ -49,7 +49,6 @@ import math
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
-from repro.core.config import MachineConfig
 from repro.core.rac import RAC_MAX, RegisterAccessCounters
 from repro.core.rat import RenameTable
 from repro.core.rob import ReorderBuffer
@@ -91,12 +90,34 @@ _NEVER = float("inf")
 class VectorPipeline:
     """One VPU instance executing one program on one configuration."""
 
-    def __init__(self, config: MachineConfig, program: Program,
+    def __init__(self, config, program: Program,
                  params: Optional[TimingParams] = None,
                  memsys: Optional[MemorySystem] = None,
                  functional: bool = False,
                  victim_policy: VictimPolicy = VictimPolicy.RAC_MIN,
                  aggressive_reclamation: bool = True) -> None:
+        """``config`` is a :class:`MachineConfig` or a full
+        :class:`~repro.sim.scenario.Scenario` (which pins every other
+        machine-side argument)."""
+        # Imported lazily: repro.sim.scenario pulls repro.vpu.params in
+        # through the vpu package, so a module-level import here would be
+        # circular.
+        from repro.sim.scenario import Scenario
+        if isinstance(config, Scenario):
+            # A scenario pins every machine-side axis; mixing it with the
+            # loose per-axis keywords would make two sources of truth.
+            if (params is not None or memsys is not None
+                    or victim_policy is not VictimPolicy.RAC_MIN
+                    or aggressive_reclamation is not True):
+                raise ValueError(
+                    "pass either a Scenario or loose params/memsys/"
+                    "victim_policy/aggressive_reclamation, not both")
+            scenario = config
+            config = scenario.machine
+            params = scenario.timing
+            memsys = MemorySystem(scenario.memory)
+            victim_policy = scenario.policy.victim_policy
+            aggressive_reclamation = scenario.policy.aggressive_reclamation
         program.validate(config.n_logical)
         self.config = config
         self.program = program

@@ -2,10 +2,11 @@
 
 import pytest
 
+from repro.experiments.engine import (Cell, CellExecutor, fill_speedups,
+                                      record_from_result)
 from repro.experiments.figure3 import build_panel
 from repro.experiments.figure4 import build_figure4
 from repro.experiments.figure5 import build_figure5, render_figure5
-from repro.experiments.runner import run_series
 from repro.core.config import SCALE_FACTORS, ava_config, native_config
 from repro.workloads import get_workload
 
@@ -37,10 +38,13 @@ def test_panel_render_contains_all_four_charts(axpy_panel):
 
 
 def test_figure4_from_precomputed_records():
-    """Figure 4 can reuse runner output instead of re-simulating."""
+    """Figure 4 can reuse engine output instead of re-simulating."""
     cfgs = ([native_config(s) for s in SCALE_FACTORS]
             + [ava_config(s) for s in SCALE_FACTORS])
-    records = {"axpy": run_series(get_workload("axpy"), cfgs)}
+    results = CellExecutor().run(
+        [Cell(workload=get_workload("axpy"), config=cfg) for cfg in cfgs])
+    records = {"axpy": fill_speedups(
+        [record_from_result(r) for r in results])}
     fig4 = build_figure4(per_workload=records)
     assert len(fig4.native_perf_mm2) == len(SCALE_FACTORS)
     assert fig4.avg_speedups_native[0] == pytest.approx(1.0)

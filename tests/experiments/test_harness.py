@@ -9,8 +9,9 @@ from repro.experiments.configs import (
     native_series,
     rg_series,
 )
+from repro.experiments.engine import (Cell, CellExecutor, fill_speedups,
+                                      record_from_result)
 from repro.experiments.rendering import render_bars, render_stacked, render_table
-from repro.experiments.runner import run_cell, run_series
 from repro.experiments.tables import (
     render_table1,
     render_table2,
@@ -39,18 +40,38 @@ def test_x3_has_no_rg_equivalent():
     assert ("NATIVE X3", "AVA X3 (21-PREG)", "NA") in rows
 
 
-def test_run_cell_with_check():
-    record = run_cell(get_workload("axpy"), native_config(1), check=True)
+def test_engine_cell_with_check():
+    result = CellExecutor().run_one(
+        Cell(workload=get_workload("axpy"), config=native_config(1),
+             check=True))
+    record = record_from_result(result)
     assert record.correct is True
     assert record.stats.cycles > 0
     assert record.energy.total > 0
 
 
-def test_run_series_normalises_speedups():
-    records = run_series(get_workload("axpy"),
-                         [native_config(1), native_config(8)])
+def test_fill_speedups_normalises_against_the_baseline():
+    results = CellExecutor().run(
+        [Cell(workload="axpy", config=cfg)
+         for cfg in (native_config(1), native_config(8))])
+    records = fill_speedups([record_from_result(r) for r in results])
     assert records[0].speedup == pytest.approx(1.0)
     assert records[1].speedup > 1.0
+
+
+def test_runner_stub_is_deprecated_but_functional():
+    """The one-release compat stub: warns on import, still answers."""
+    import importlib
+    import sys
+    import warnings
+
+    sys.modules.pop("repro.experiments.runner", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        runner = importlib.import_module("repro.experiments.runner")
+    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+    record = runner.run_cell(get_workload("axpy"), native_config(1))
+    assert record.stats.cycles > 0
 
 
 def test_render_table_alignment():

@@ -1,0 +1,74 @@
+"""The machine-axis sensitivity study."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments.engine import CellExecutor
+from repro.experiments.sensitivity import (DRAM_LATENCIES, L2_LATENCIES,
+                                           SWAP_BUDGETS, build_sensitivity)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return build_sensitivity(executor=CellExecutor())
+
+
+def test_study_covers_every_axis_point(study):
+    assert [r.axis_value for r in study.l2_rows] == list(L2_LATENCIES)
+    assert [r.axis_value for r in study.dram_rows] == list(DRAM_LATENCIES)
+    assert [r.axis_value for r in study.swap_rows] == list(SWAP_BUDGETS)
+
+
+def test_slower_dram_widens_the_gap_monotonically(study):
+    """The headline: AVA pays for its smaller P-VRF in swap traffic
+    through the memory hierarchy, so a slower DRAM must widen the
+    NATIVE-vs-AVA gap at X8 — monotonically across the axis."""
+    gaps = [row.gap_x8 for row in study.dram_rows]
+    assert study.dram_gap_is_monotone()
+    assert gaps[-1] > gaps[0]  # strictly wider across the full axis
+    # NATIVE generates no swap traffic, so its columns stay flat.
+    assert len({row.native_x8 for row in study.dram_rows}) == 1
+
+
+def test_render_contains_all_three_tables(study):
+    text = study.render()
+    for marker in ("L2 hit latency", "DRAM access latency",
+                   "pre-issue swap budget",
+                   "gap monotonically at X8: yes"):
+        assert marker in text
+
+
+def test_cli_sensitivity_renders_the_study(monkeypatch, capsys, tmp_path):
+    """CLI wiring only — the study itself is monkeypatched to stay fast."""
+    import repro.experiments.sensitivity as sensitivity
+
+    calls = []
+
+    class FakeStudy:
+        def render(self):
+            return "fake sensitivity table"
+
+    def fake_build(executor=None, workload=None):
+        calls.append(workload)
+        return FakeStudy()
+
+    monkeypatch.setattr(sensitivity, "build_sensitivity", fake_build)
+    assert main(["sensitivity",
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    assert "fake sensitivity table" in capsys.readouterr().out
+    assert calls == ["blackscholes"]
+
+    assert main(["sensitivity", "lavamd",
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    capsys.readouterr()
+    assert calls[-1] == "lavamd"
+
+    with pytest.raises(SystemExit):
+        main(["sensitivity", "doom"])
+    # The whole-suite selectors must not sneak past the --extended guard.
+    with pytest.raises(SystemExit):
+        main(["sensitivity", "extended"])
+    with pytest.raises(SystemExit):
+        main(["sensitivity", "all"])
+    with pytest.raises(SystemExit):
+        main(["sensitivity", "--extended"])

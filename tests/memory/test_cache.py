@@ -92,3 +92,17 @@ def test_contains_does_not_mutate():
     before = c.stats.accesses
     assert c.contains(0x1000)
     assert c.stats.accesses == before
+
+
+def test_config_validates_at_construction():
+    """A bad sweep preset must fail at spec-parse time, not mid-grid."""
+    with pytest.raises(ValueError):
+        CacheConfig("bad", 1024, 64, 8, latency=0)
+    with pytest.raises(ValueError):
+        CacheConfig("bad", 1024, 64, 8, latency=-4)
+    with pytest.raises(ValueError):
+        CacheConfig("bad", 0, 64, 8)
+    with pytest.raises(ValueError):
+        CacheConfig("bad", 1024, 0, 8)
+    with pytest.raises(ValueError):
+        CacheConfig("bad", 1024, 64, 0)

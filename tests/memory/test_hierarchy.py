@@ -67,3 +67,27 @@ def test_reset_stats():
     ms.reset_stats()
     assert ms.l2.stats.accesses == 0
     assert ms.dram.accesses == 0
+
+
+def test_dram_config_validates_at_construction():
+    import pytest
+
+    from repro.memory.dram import DramConfig
+
+    with pytest.raises(ValueError):
+        DramConfig(latency=0)
+    with pytest.raises(ValueError):
+        DramConfig(line_transfer=0)
+
+
+def test_memory_system_config_validates_members():
+    import pytest
+
+    from repro.memory.hierarchy import MemorySystemConfig
+
+    with pytest.raises(ValueError):
+        MemorySystemConfig(vector_interface_bytes=0)
+    with pytest.raises(TypeError):
+        MemorySystemConfig(l2="1MB")
+    with pytest.raises(TypeError):
+        MemorySystemConfig(dram={"latency": 80})

@@ -1,0 +1,200 @@
+"""The scenario layer: axis registries, the frozen bundle, JSON round-trip."""
+
+import json
+
+import pytest
+
+from repro.core.config import (
+    ava_config,
+    get_machine,
+    machine_names,
+    native_config,
+    register_machine,
+    rg_config,
+    unregister_machine,
+)
+from repro.memory.hierarchy import MemorySystemConfig
+from repro.memory.presets import (
+    get_memory_system,
+    memory_system_names,
+    register_memory_system,
+    unregister_memory_system,
+)
+from repro.sim.scenario import CellPolicy, Scenario, build_scenario
+from repro.sim.simulator import Simulator
+from repro.core.swap import VictimPolicy
+from repro.vpu.params import (
+    DEFAULT_TIMING,
+    get_timing,
+    register_timing,
+    timing_names,
+    unregister_timing,
+)
+from repro.vpu.pipeline import VectorPipeline
+from repro.workloads import get_workload
+
+
+# ---------------------------------------------------------------------------
+# axis registries
+# ---------------------------------------------------------------------------
+def test_machine_registry_covers_the_paper_matrix():
+    names = machine_names()
+    for scale in (1, 2, 3, 4, 8):
+        assert f"native-x{scale}" in names
+        assert f"ava-x{scale}" in names
+    for lmul in (1, 2, 4, 8):
+        assert f"rg-lmul{lmul}" in names
+    assert get_machine("native-x8") == native_config(8)
+    assert get_machine("ava-x8") == ava_config(8)
+    assert get_machine("rg-lmul4") == rg_config(4)
+    assert get_machine("baseline") == native_config(1)
+
+
+def test_machine_registry_rejects_unknown_and_collisions():
+    with pytest.raises(KeyError):
+        get_machine("cray-1")
+    with pytest.raises(ValueError):
+        register_machine("native-x8", lambda: native_config(1))
+    # Plugin flow: register, resolve, clean up.
+    register_machine("test-tiny", lambda: native_config(1))
+    try:
+        assert get_machine("test-tiny") == native_config(1)
+    finally:
+        assert unregister_machine("test-tiny")
+    assert not unregister_machine("test-tiny")
+
+
+def test_memory_presets():
+    assert "table2" in memory_system_names()
+    table2 = get_memory_system("table2")
+    assert table2 == MemorySystemConfig()
+    assert get_memory_system("slow-dram").dram.latency == \
+        2 * table2.dram.latency
+    assert get_memory_system("half-l2").l2.size_bytes == \
+        table2.l2.size_bytes // 2
+    assert get_memory_system("slow-l2").l2.latency == 2 * table2.l2.latency
+    with pytest.raises(KeyError):
+        get_memory_system("hbm3")
+    with pytest.raises(ValueError):
+        register_memory_system("table2", MemorySystemConfig)
+    register_memory_system("test-mem", MemorySystemConfig)
+    try:
+        assert get_memory_system("test-mem") == MemorySystemConfig()
+    finally:
+        assert unregister_memory_system("test-mem")
+
+
+def test_timing_presets():
+    assert "default" in timing_names()
+    assert get_timing("default") == DEFAULT_TIMING
+    assert get_timing("single-swap").preissue_swap_budget == 1
+    assert get_timing("wide-swap").preissue_swap_budget == 4
+    assert get_timing("deep-queues").arith_queue_depth == 64
+    with pytest.raises(KeyError):
+        get_timing("overclocked")
+    with pytest.raises(ValueError):
+        register_timing("default", lambda: DEFAULT_TIMING)
+    register_timing("test-timing", lambda: DEFAULT_TIMING)
+    try:
+        assert get_timing("test-timing") == DEFAULT_TIMING
+    finally:
+        assert unregister_timing("test-timing")
+
+
+# ---------------------------------------------------------------------------
+# the Scenario bundle
+# ---------------------------------------------------------------------------
+def test_default_scenario_is_the_paper_platform():
+    scenario = build_scenario("ava-x8")
+    assert scenario.machine == ava_config(8)
+    assert scenario.timing == DEFAULT_TIMING
+    assert scenario.memory == MemorySystemConfig()
+    assert scenario.policy == CellPolicy()
+
+
+def test_build_scenario_resolves_preset_names():
+    scenario = build_scenario("ava-x4", memory="slow-dram",
+                              timing="single-swap",
+                              policy=CellPolicy(
+                                  victim_policy=VictimPolicy.FIFO))
+    assert scenario.machine.name == "AVA X4"
+    assert scenario.memory.dram.latency == 160
+    assert scenario.timing.preissue_swap_budget == 1
+    assert scenario.policy.victim_policy is VictimPolicy.FIFO
+
+
+def test_build_scenario_accepts_policy_names_and_rejects_junk():
+    assert build_scenario("ava-x8", policy="fifo").policy == \
+        CellPolicy(victim_policy=VictimPolicy.FIFO)
+    with pytest.raises(ValueError):
+        build_scenario("ava-x8", policy="mru")  # not a VictimPolicy
+    with pytest.raises(TypeError):
+        build_scenario("ava-x8", timing=12)  # wrong-typed axis
+    with pytest.raises(TypeError):
+        build_scenario("ava-x8", memory={"l2": {"latency": 6}})
+
+
+def test_scenario_is_frozen_and_hashable():
+    a = build_scenario("ava-x8", memory="slow-dram")
+    b = build_scenario("ava-x8", memory="slow-dram")
+    assert a == b and hash(a) == hash(b)
+    assert a != build_scenario("ava-x8", memory="table2")
+    with pytest.raises(AttributeError):
+        a.machine = native_config(1)
+
+
+def test_scenario_json_round_trip_is_exact():
+    scenario = build_scenario("rg-lmul4", memory="half-l2",
+                              timing="deep-queues",
+                              policy=CellPolicy(
+                                  victim_policy=VictimPolicy.ROUND_ROBIN,
+                                  aggressive_reclamation=False))
+    through_json = Scenario.from_dict(
+        json.loads(json.dumps(scenario.to_dict())))
+    assert through_json == scenario
+
+
+# ---------------------------------------------------------------------------
+# the stack consumes scenarios end-to-end
+# ---------------------------------------------------------------------------
+def test_simulator_accepts_a_scenario():
+    scenario = build_scenario("ava-x8", memory="slow-dram")
+    program = get_workload("axpy").compile(scenario.machine).program
+    result = Simulator(scenario, program).run()
+    default = Simulator(scenario.machine, program).run()
+    assert result.stats.cycles > 0
+    # The slow-dram axis must actually reach the timing model.
+    assert result.stats.cycles != default.stats.cycles
+
+
+def test_scenario_equals_equivalent_loose_arguments():
+    """A default-memory scenario is byte-identical to the loose-kwargs path."""
+    config = ava_config(8)
+    program = get_workload("blackscholes").compile(config).program
+    via_scenario = Simulator(build_scenario(config), program).run()
+    via_kwargs = Simulator(config, program).run()
+    assert via_scenario.stats.to_dict() == via_kwargs.stats.to_dict()
+
+
+def test_pipeline_rejects_scenario_plus_loose_arguments():
+    scenario = build_scenario("native-x1")
+    program = get_workload("axpy").compile(scenario.machine).program
+    with pytest.raises(ValueError):
+        VectorPipeline(scenario, program, params=DEFAULT_TIMING)
+    with pytest.raises(ValueError):
+        VectorPipeline(scenario, program,
+                       victim_policy=VictimPolicy.FIFO)
+    with pytest.raises(ValueError):
+        VectorPipeline(scenario, program, aggressive_reclamation=False)
+
+
+def test_simulator_rejects_scenario_plus_loose_arguments():
+    """Loose kwargs must never be silently shadowed by the scenario."""
+    scenario = build_scenario("native-x1")
+    program = get_workload("axpy").compile(scenario.machine).program
+    with pytest.raises(ValueError):
+        Simulator(scenario, program, params=DEFAULT_TIMING)
+    with pytest.raises(ValueError):
+        Simulator(scenario, program, victim_policy=VictimPolicy.FIFO)
+    with pytest.raises(ValueError):
+        Simulator(scenario, program, aggressive_reclamation=False)
