@@ -20,12 +20,17 @@ Artifacts:
 Simulation-backed artifacts (``figure3``, ``figure4``, ``claims``) run
 through the experiment-execution engine:
 
-* ``--jobs N`` fans independent cells out over N worker processes
+* ``--jobs N`` streams independent cells over N worker processes
   (output is byte-identical to a serial run);
 * results persist in a content-addressed cache (``--cache-dir``,
   default ``.repro-cache``) so re-rendering any artifact — or another
-  artifact sharing cells — is near-instant; ``--no-cache`` disables it;
-* ``--cache-stats`` prints hit/miss/simulation counters to stderr.
+  artifact sharing cells — is near-instant; ``--no-cache`` disables it.
+  Every cell is cached the moment it completes, so an interrupted grid
+  resumes by rerunning: finished cells replay as hits;
+* ``--cache-stats`` prints hit/miss/simulation counters to stderr;
+* ``--progress`` / ``--no-progress`` force the live stderr progress line
+  on or off (default: on when stderr is a terminal).  Progress never
+  touches stdout, so piped artifacts stay byte-identical.
 """
 
 from __future__ import annotations
@@ -33,7 +38,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments.engine import DEFAULT_CACHE_DIR, make_executor
+from repro.experiments.engine import (DEFAULT_CACHE_DIR, ProgressRenderer,
+                                      make_executor)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -78,10 +84,30 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-stats", action="store_true",
                         help="print engine cache/simulation counters "
                              "to stderr")
+    parser.add_argument("--progress", dest="progress", action="store_true",
+                        default=None,
+                        help="render a live cells-done/hits/misses/rate "
+                             "line on stderr (default: only when stderr "
+                             "is a terminal; stdout is never touched)")
+    parser.add_argument("--no-progress", dest="progress",
+                        action="store_false",
+                        help="disable the live progress line")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
 
+    show_progress = (args.progress if args.progress is not None
+                     else sys.stderr.isatty())
+    renderer = ProgressRenderer() if show_progress else None
+    try:
+        return _dispatch(parser, args, renderer)
+    finally:
+        if renderer is not None:
+            renderer.close()
+
+
+def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace,
+              renderer: ProgressRenderer | None) -> int:
     if args.artifact == "bench":
         if args.workload != "engine":
             parser.error("available benchmarks: engine")
@@ -90,7 +116,8 @@ def main(argv: list[str] | None = None) -> int:
                          "use --extended for the ten-kernel grid")
         from repro.experiments.bench import run_bench_engine
         return run_bench_engine(output=args.bench_output,
-                                extended=args.extended)
+                                extended=args.extended,
+                                progress=renderer)
 
     from repro.workloads.registry import select_workloads
 
@@ -103,8 +130,21 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(str(exc))
 
     executor = make_executor(jobs=args.jobs, cache=not args.no_cache,
-                             cache_dir=args.cache_dir)
+                             cache_dir=args.cache_dir, progress=renderer)
+    try:
+        code = _render_artifact(parser, args, executor, selection)
+        if renderer is not None:
+            renderer.close()  # never interleave stats with a live line
+        if args.cache_stats:
+            print(executor.stats.summary(), file=sys.stderr)
+        return code
+    finally:
+        executor.close()
 
+
+def _render_artifact(parser: argparse.ArgumentParser,
+                     args: argparse.Namespace, executor,
+                     selection) -> int:
     if args.artifact == "table1":
         from repro.experiments.tables import render_table1
         print(render_table1())
@@ -174,9 +214,6 @@ def main(argv: list[str] | None = None) -> int:
         extra = selection() if (args.extended or args.workloads) else ()
         print(render_claims(check_headline_claims(executor=executor,
                                                   extra_workloads=extra)))
-
-    if args.cache_stats:
-        print(executor.stats.summary(), file=sys.stderr)
     return 0
 
 

@@ -29,9 +29,13 @@ from repro.experiments.configs import (
 )
 from repro.experiments.engine import (
     Cell,
+    CellError,
+    CellExecutionError,
     CellExecutor,
     CellPolicy,
     CellResult,
+    Progress,
+    ProgressRenderer,
     ResultCache,
     RunRecord,
     SweepSpec,
@@ -58,9 +62,13 @@ __all__ = [
     "ava_series",
     "rg_series",
     "Cell",
+    "CellError",
+    "CellExecutionError",
     "CellExecutor",
     "CellPolicy",
     "CellResult",
+    "Progress",
+    "ProgressRenderer",
     "ResultCache",
     "SweepSpec",
     "make_executor",

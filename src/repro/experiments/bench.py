@@ -45,19 +45,24 @@ BASELINE_PATH = Path(__file__).resolve().parents[3] / "benchmarks" \
 
 
 def measure_engine_throughput(repeats: int = 3,
-                              spec: SweepSpec = BENCH_SPEC) -> dict:
+                              spec: SweepSpec = BENCH_SPEC,
+                              progress=None) -> dict:
     """Run a benchmark grid cold (no cache) ``repeats`` times serially.
 
     Returns the best run (shared machines are noisy; the minimum is the
     least-contended measurement), with scheduler-efficiency counters from
-    the executed simulations.
+    the executed simulations.  ``progress`` (a
+    :class:`repro.experiments.engine.Progress` callback) streams per-cell
+    completion to stderr without perturbing the timed region beyond the
+    callback itself.
     """
     n_cells = len(spec.cells())
     best: Optional[dict] = None
-    for _ in range(max(1, repeats)):
-        executor = CellExecutor()  # no cache: every cell simulates
+    for repeat in range(max(1, repeats)):
+        # no cache: every cell simulates
+        executor = CellExecutor(progress=progress)
         start = time.perf_counter()
-        executor.run_spec(spec)
+        executor.run_spec(spec, label=f"bench cold run {repeat + 1}")
         elapsed = time.perf_counter() - start
         stats = executor.stats
         run = {
@@ -160,14 +165,16 @@ def run_bench_engine(output: Optional[str] = "BENCH_engine.json",
                      repeats: int = 3,
                      relative: bool = False,
                      min_relative_speedup: float = 1.1,
-                     extended: bool = False) -> int:
+                     extended: bool = False,
+                     progress=None) -> int:
     """CLI body for ``repro bench engine``; returns an exit status.
 
     ``relative=True`` gates on the same-run scheduler-vs-reference ratio
     instead of the committed absolute baseline — the machine-independent
     mode CI uses.  ``extended=True`` measures the ten-kernel grid
     (:data:`EXTENDED_BENCH_SPEC`); the absolute gate only applies when the
-    committed baseline was recorded on the same grid.
+    committed baseline was recorded on the same grid.  ``progress``
+    forwards live per-cell completion to the engine's progress callback.
     """
     spec = EXTENDED_BENCH_SPEC if extended else BENCH_SPEC
     grid = "extended" if extended else "standard"
@@ -181,7 +188,8 @@ def run_bench_engine(output: Optional[str] = "BENCH_engine.json",
         print(f"note: no committed {grid}-grid baseline at {baseline_path}; "
               "the regression gate is skipped (run from a repository "
               "checkout to enable it)")
-    measured = measure_engine_throughput(repeats=repeats, spec=spec)
+    measured = measure_engine_throughput(repeats=repeats, spec=spec,
+                                         progress=progress)
     measured["grid"] = grid
     if baseline and "pr1_baseline_cells_per_sec" in baseline:
         measured["pr1_baseline_cells_per_sec"] = (

@@ -14,10 +14,14 @@ Every artifact of the paper boils down to a grid of independent
   JSON under ``.repro-cache/``.  The key hashes the configuration fields,
   the *compiled program* fingerprint, the timing parameters, the policy
   knobs and :data:`DATA_SEED` — any change to any of them is a miss;
-* :class:`CellExecutor` — runs cells inline or fanned out over a
-  :class:`concurrent.futures.ProcessPoolExecutor`.  Results are keyed by
-  their position in the request, never by completion order, so the output
-  is byte-identical regardless of scheduling and of ``jobs``.
+* :class:`CellExecutor` — runs cells inline or streamed over one
+  persistent :class:`concurrent.futures.ProcessPoolExecutor` that lives
+  for the executor's lifetime.  Results are keyed by their position in
+  the request, never by completion order, so the output is byte-identical
+  regardless of scheduling and of ``jobs``.  Each result is written to
+  the cache the moment it lands, a raising cell becomes a
+  :class:`CellError` instead of discarding the rest of the batch, and an
+  interrupted grid resumes by rerunning — finished cells replay as hits.
 
 The figure/table regenerators, the CLI, the benchmarks and the examples
 all route through here, so ``figure3 all``, ``figure4`` and ``claims``
@@ -29,11 +33,16 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
+import time
+import traceback
+from concurrent.futures import (BrokenExecutor, ProcessPoolExecutor,
+                                as_completed)
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (Callable, Dict, List, Optional, Sequence, TextIO, Tuple,
+                    Union)
 
 import numpy as np
 
@@ -221,8 +230,18 @@ def fill_speedups(records: List[RunRecord],
 
 
 def average_speedups(per_workload: Dict[str, List[RunRecord]]) -> List[float]:
-    """Geometric-mean-free average speedup per series position (Fig. 4)."""
-    n = min(len(records) for records in per_workload.values())
+    """Geometric-mean-free average speedup per series position (Fig. 4).
+
+    Every workload must report the same series; ragged inputs mean a
+    renderer lost (or duplicated) a configuration somewhere upstream, so
+    they raise instead of silently averaging a truncated prefix.
+    """
+    lengths = {name: len(records) for name, records in per_workload.items()}
+    if len(set(lengths.values())) > 1:
+        raise ValueError(
+            f"ragged per-workload series: {lengths} — every workload must "
+            f"cover the same configurations")
+    n = next(iter(lengths.values()), 0)
     return [float(np.mean([records[i].speedup
                            for records in per_workload.values()]))
             for i in range(n)]
@@ -321,15 +340,72 @@ def cell_key(cell: Cell, program: Program) -> str:
 # ---------------------------------------------------------------------------
 # persistent result cache
 # ---------------------------------------------------------------------------
+_PROCESS_UMASK: Optional[int] = None
+
+
+def _process_umask() -> int:
+    """The process umask, read once and reused for every cache write.
+
+    POSIX only exposes the umask by *setting* it, and that flip is
+    process-global — concurrent executors flipping it per ``put`` could
+    observe each other's transient zero.  Reading it a single time per
+    process keeps every later write race-free (a process that changes its
+    umask mid-run keeps the startup value, which is the documented
+    shared-cache contract).
+    """
+    global _PROCESS_UMASK
+    if _PROCESS_UMASK is None:
+        umask = os.umask(0)
+        os.umask(umask)
+        _PROCESS_UMASK = umask
+    return _PROCESS_UMASK
+
+
 class ResultCache:
     """Content-addressed JSON store for cell results.
 
     One file per cell under ``root``; writes are atomic (tempfile +
     ``os.replace``) so concurrent processes can share a cache directory.
+    A writer killed between ``mkstemp`` and ``os.replace`` leaves a
+    ``*.tmp`` orphan behind; those are reaped by :meth:`clear` (past a
+    short grace, so in-flight writers are never raced) and — once per
+    cache instance, for stale ones — on :meth:`put`.
     """
+
+    #: A ``*.tmp`` older than this is an orphan from a killed writer, not
+    #: a concurrent in-flight write, and may be reaped.
+    TMP_MAX_AGE_S = 3600.0
+
+    #: :meth:`clear` reaps tempfiles past this much shorter grace — long
+    #: enough that a concurrent writer between ``mkstemp`` and
+    #: ``os.replace`` (milliseconds) is never raced, short enough that an
+    #: explicit wipe still takes recent orphans with it.
+    CLEAR_GRACE_S = 60.0
 
     def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
         self.root = Path(root)
+        self._swept = False
+
+    def sweep_orphans(self, max_age_s: Optional[float] = None) -> int:
+        """Reap tempfiles abandoned by SIGKILL-ed writers; returns a count.
+
+        Only files older than ``max_age_s`` (default
+        :data:`TMP_MAX_AGE_S`) go, so a concurrent writer mid-``put`` is
+        never raced; pass ``0`` to reap unconditionally.
+        """
+        if max_age_s is None:
+            max_age_s = self.TMP_MAX_AGE_S
+        cutoff = time.time() - max_age_s
+        removed = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*.tmp"):
+                try:
+                    if max_age_s <= 0 or entry.stat().st_mtime <= cutoff:
+                        entry.unlink()
+                        removed += 1
+                except OSError:
+                    pass  # another process reaped (or finished) it first
+        return removed
 
     def path(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -356,6 +432,11 @@ class ResultCache:
 
     def put(self, key: str, payload: dict) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
+        if not self._swept:
+            # Opportunistic orphan reaping, once per cache instance so the
+            # directory scan never becomes a per-put cost on hot sweeps.
+            self._swept = True
+            self.sweep_orphans()
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
@@ -364,9 +445,7 @@ class ResultCache:
             # would have produced under the process umask, or entries
             # written by one user are unreadable to the other processes the
             # shared-directory contract promises to serve.
-            umask = os.umask(0)
-            os.umask(umask)
-            os.chmod(tmp, 0o666 & ~umask)
+            os.chmod(tmp, 0o666 & ~_process_umask())
             os.replace(tmp, self.path(key))
         except BaseException:
             try:
@@ -376,12 +455,20 @@ class ResultCache:
             raise
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry plus orphaned tempfiles; returns how many
+        files were removed.
+
+        Tempfiles younger than :data:`CLEAR_GRACE_S` survive: one may be
+        a concurrent writer mid-``put``, and unlinking it would crash
+        that writer's ``os.replace`` — entries, by contrast, can go at
+        any age because replacing over a deleted path is safe.
+        """
         removed = 0
         if self.root.is_dir():
             for entry in self.root.glob("*.json"):
                 entry.unlink()
                 removed += 1
+            removed += self.sweep_orphans(max_age_s=self.CLEAR_GRACE_S)
         return removed
 
 
@@ -427,6 +514,150 @@ def _execute_cell(job: Tuple[Cell, Program]) -> dict:
     }
 
 
+def _compile_cell(cell: Cell) -> Program:
+    """Compile one cell's kernel (module-level so the pool can pickle it).
+
+    Compilation is pure — everything it reads is in the cell — so a
+    parallel executor fans the distinct (workload, config) compiles out
+    over the same worker pool that runs the simulations, instead of
+    serializing them in the parent while the workers sit idle.
+    """
+    return cell.resolve_workload().compile(cell.config).program
+
+
+@dataclass
+class CellError:
+    """One cell that raised (or whose worker died) instead of producing
+    statistics.
+
+    Captured per cell so a single bad point cannot poison a streaming
+    batch: every other cell still completes and is cached.  ``error`` is
+    the one-line ``Type: message`` form; ``tb`` carries the worker-side
+    traceback when one was recoverable (a SIGKILL-ed worker leaves none).
+    """
+
+    cell: Cell
+    key: str
+    error: str
+    tb: str = ""
+
+    def label(self) -> str:
+        return self.cell.label()
+
+
+class CellExecutionError(RuntimeError):
+    """Raised after a streaming batch drains with at least one failed cell.
+
+    By the time this surfaces, every *completed* cell has already been
+    written to the cache — rerunning the same grid replays them as hits
+    and re-executes only the failures (the crash-safe-resume contract).
+    ``errors`` holds one :class:`CellError` per distinct failure; the
+    counts in the message are per requested cell, so they always add up
+    to the batch size even when a failing cell was deduplicated.
+    """
+
+    def __init__(self, errors: Sequence[CellError], completed: int,
+                 total: int) -> None:
+        self.errors = list(errors)
+        self.completed = completed
+        self.total = total
+        first = self.errors[0]
+        super().__init__(
+            f"{total - completed} of {total} cells failed "
+            f"({completed} completed and cached; rerun to resume); "
+            f"first failure {first.label()}: {first.error}")
+
+
+@dataclass
+class Progress:
+    """A live snapshot of one streaming batch, handed to the progress
+    callback after the cache scan and again as every cell lands.
+
+    ``done`` only counts cells whose result (or failure) is final — for a
+    miss that is *after* its payload hit the cache, so a consumer watching
+    ``done`` never over-reports what a crash would preserve.
+    """
+
+    total: int
+    label: str = ""
+    done: int = 0
+    hits: int = 0
+    misses: int = 0
+    failed: int = 0
+    _started: float = field(default_factory=time.perf_counter, repr=False)
+
+    @property
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._started
+
+    @property
+    def rate(self) -> float:
+        """Cells finalised per second since the batch started."""
+        elapsed = self.elapsed
+        return self.done / elapsed if elapsed > 0 else 0.0
+
+
+#: A progress consumer; called with the same mutating snapshot each time.
+ProgressCallback = Callable[[Progress], None]
+
+
+class ProgressRenderer:
+    """Renders progress as one self-overwriting stderr line.
+
+    Writes exclusively to ``stream`` (stderr by default) so the stdout
+    artifacts stay byte-identical; redraws are rate-limited so multi-
+    hundred-cell grids do not spend their time painting the terminal.
+    :meth:`close` finishes the line with a newline — callers own that so
+    an executor can run many batches over one renderer.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 min_interval_s: float = 0.1) -> None:
+        self._stream = stream
+        self._min_interval_s = min_interval_s
+        self._last_draw = 0.0
+        self._width = 0
+        self._dirty = False
+
+    def _line(self, progress: Progress) -> str:
+        label = f"{progress.label}: " if progress.label else ""
+        line = (f"{label}{progress.done}/{progress.total} cells | "
+                f"{progress.hits} hits | {progress.misses} misses")
+        if progress.failed:
+            line += f" | {progress.failed} FAILED"
+        return line + f" | {progress.rate:.1f} cells/s"
+
+    def __call__(self, progress: Progress) -> None:
+        now = time.perf_counter()
+        finished = progress.done >= progress.total
+        if not finished and now - self._last_draw < self._min_interval_s:
+            return
+        self._last_draw = now
+        stream = self._stream if self._stream is not None else sys.stderr
+        line = self._line(progress)
+        stream.write("\r" + line + " " * max(0, self._width - len(line)))
+        if finished:
+            # One terminated line per completed batch; later stderr output
+            # (cache stats, the next batch) starts clean.
+            stream.write("\n")
+            self._width = 0
+            self._dirty = False
+        else:
+            self._width = len(line)
+            self._dirty = True
+        stream.flush()
+
+    def close(self) -> None:
+        """Terminate an unfinished in-place line (no-op after a batch that
+        ran to completion — those self-terminate)."""
+        if self._dirty:
+            stream = self._stream if self._stream is not None else sys.stderr
+            stream.write("\n")
+            stream.flush()
+            self._dirty = False
+            self._width = 0
+
+
 @dataclass
 class ExecutorStats:
     """Observable engine counters (the warm-cache acceptance check).
@@ -448,6 +679,7 @@ class ExecutorStats:
     cells_requested: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    cells_failed: int = 0
     sims_executed: int = 0
     compiles: int = 0
     sim_cycles: int = 0
@@ -460,6 +692,8 @@ class ExecutorStats:
                 f"{self.cache_misses} misses, "
                 f"{self.sims_executed} simulations executed, "
                 f"{self.compiles} kernel compiles")
+        if self.cells_failed:
+            text += f"\nfailures: {self.cells_failed} cells failed"
         if self.sim_cycles:
             skipped = 100.0 * self.sim_cycles_skipped / self.sim_cycles
             text += (f"\nscheduler: {self.sim_cycles} cycles simulated, "
@@ -470,21 +704,36 @@ class ExecutorStats:
 
 
 class CellExecutor:
-    """Runs cell batches inline or over a process pool, with caching.
+    """Streams cell batches inline or over a persistent process pool.
 
     ``jobs=1`` executes inline (no subprocess, no pickling); ``jobs>1``
-    fans misses out over a :class:`ProcessPoolExecutor`.  Identical cells
-    within a batch are simulated once.  Results always come back in
-    request order.
+    submits misses to one :class:`ProcessPoolExecutor` that is spun up on
+    first use and reused across batches (``close()`` or the context-
+    manager form shuts it down).  Identical cells within a batch are
+    simulated once.  Results always come back in request order.
+
+    Execution is *streaming*: every payload is written to the cache the
+    moment its simulation lands, so interrupting a grid — Ctrl-C, an
+    OOM-killed worker, one raising cell — never discards the cells that
+    already finished; rerunning replays them as cache hits and
+    re-executes only what is missing.  A raising cell is captured as a
+    :class:`CellError` while the rest of the batch keeps going; after the
+    batch drains, failures raise :class:`CellExecutionError` (pass
+    ``errors="return"`` to receive the :class:`CellError` objects in
+    their result positions instead).  ``progress`` is called with a
+    :class:`Progress` snapshot as every cell is finalised.
     """
 
     def __init__(self, jobs: int = 1,
-                 cache: Optional[ResultCache] = None) -> None:
+                 cache: Optional[ResultCache] = None,
+                 progress: Optional[ProgressCallback] = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.cache = cache
+        self.progress = progress
         self.stats = ExecutorStats()
+        self._pool: Optional[ProcessPoolExecutor] = None
         # Compilation memo for *named* cells: the registry instantiates a
         # fresh default-shaped instance per lookup, so (name, config) is
         # pure for the life of the executor.  Instance-backed cells are
@@ -493,44 +742,100 @@ class CellExecutor:
         self._programs: Dict[Tuple[Union[str, Workload], MachineConfig],
                              Program] = {}
 
-    # -- public API ------------------------------------------------------------
-    def _program_for(self, cell: Cell,
-                     batch_memo: Dict[Tuple[Union[str, Workload],
-                                            MachineConfig], Program]
-                     ) -> Program:
-        """The cell's compiled program, memoized per (workload, config)."""
-        memo = (self._programs if isinstance(cell.workload, str)
-                else batch_memo)
-        memo_key = (cell.workload, cell.config)
-        program = memo.get(memo_key)
-        if program is None:
-            program = cell.resolve_workload().compile(cell.config).program
-            self.stats.compiles += 1
-            memo[memo_key] = program
-        return program
+    # -- worker-pool lifecycle -------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
 
-    def run(self, cells: Sequence[Cell]) -> List[CellResult]:
-        """Execute a batch; element ``i`` of the result matches ``cells[i]``."""
+    def _discard_pool(self) -> None:
+        """Drop the pool without waiting — used when it broke or the batch
+        was interrupted; the next parallel batch spins up a fresh one."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        """Shut the persistent worker pool down (idempotent; the executor
+        stays usable — a later parallel batch starts a new pool)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "CellExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- public API ------------------------------------------------------------
+    def run(self, cells: Sequence[Cell], label: str = "",
+            errors: str = "raise"
+            ) -> List[Union[CellResult, CellError]]:
+        """Execute a batch; element ``i`` of the result matches ``cells[i]``.
+
+        ``label`` names the batch in progress snapshots.  ``errors``
+        selects what a failed cell does once the batch has drained:
+        ``"raise"`` (the default) raises :class:`CellExecutionError`,
+        ``"return"`` yields the :class:`CellError` in the failed cell's
+        result position.  Either way every completed cell was already
+        cached when the failure surfaced.
+        """
+        if errors not in ("raise", "return"):
+            raise ValueError(f"errors must be 'raise' or 'return', "
+                             f"got {errors!r}")
         self.stats.cells_requested += len(cells)
         # One compile per distinct (workload, config) pair: the program
         # feeds both the cache key and (for misses) the simulation itself.
         batch_memo: Dict[Tuple[Union[str, Workload], MachineConfig],
                          Program] = {}
-        programs = [self._program_for(cell, batch_memo) for cell in cells]
-        keys = [cell_key(cell, program)
-                for cell, program in zip(cells, programs)]
+        compiled = self._compile_programs(cells, batch_memo)
 
-        results: Dict[int, CellResult] = {}
+        progress = Progress(total=len(cells), label=label)
+        results: Dict[int, Union[CellResult, CellError]] = {}
+        failures: List[CellError] = []
         pending: List[int] = []
-        for i, (cell, key) in enumerate(zip(cells, keys)):
+        keys: List[str] = []
+        # One shared CellError per raising compile, however many cells
+        # requested that (workload, config) pair.
+        compile_errors: Dict[int, CellError] = {}
+        for i, (cell, outcome) in enumerate(zip(cells, compiled)):
+            if isinstance(outcome, BaseException):
+                # A failed compile poisons only the cells needing that
+                # program; there is no program, hence no key to cache
+                # under — the cell re-executes on the next run.
+                keys.append("")
+                error = compile_errors.get(id(outcome))
+                if error is None:
+                    error = CellError(
+                        cell=cell, key="",
+                        error=f"{type(outcome).__name__}: {outcome}",
+                        tb="".join(traceback.format_exception(
+                            type(outcome), outcome,
+                            outcome.__traceback__)))
+                    compile_errors[id(outcome)] = error
+                    failures.append(error)
+                results[i] = error
+                self.stats.cache_misses += 1
+                self.stats.cells_failed += 1
+                progress.misses += 1
+                progress.done += 1
+                progress.failed += 1
+                continue
+            key = cell_key(cell, outcome)
+            keys.append(key)
             payload = self.cache.get(key) if self.cache else None
             if payload is not None:
                 self.stats.cache_hits += 1
+                progress.hits += 1
+                progress.done += 1
                 results[i] = self._materialise(cell, key, payload,
                                                from_cache=True)
             else:
                 self.stats.cache_misses += 1
+                progress.misses += 1
                 pending.append(i)
+        self._emit(progress)
 
         if pending:
             # Dedupe identical cells inside the batch: one simulation each.
@@ -538,37 +843,180 @@ class CellExecutor:
             for i in pending:
                 by_key.setdefault(keys[i], []).append(i)
             unique = [(key, indices[0]) for key, indices in by_key.items()]
-            payloads = self._simulate([(cells[i], programs[i])
-                                       for _, i in unique])
-            self.stats.sims_executed += len(unique)
-            for payload in payloads:
+
+            def land(pos: int, payload: dict) -> None:
+                """Finalise one simulation: cache first, then materialise."""
+                key, _ = unique[pos]
+                self.stats.sims_executed += 1
                 sim_stats = payload["stats"]
                 self.stats.sim_cycles += sim_stats["cycles"]
                 self.stats.sim_events_processed += (
                     sim_stats["events_processed"])
                 self.stats.sim_cycles_skipped += sim_stats["cycles_skipped"]
-            for (key, _), payload in zip(unique, payloads):
                 if self.cache is not None:
                     self.cache.put(key, payload)
                 for i in by_key[key]:
                     results[i] = self._materialise(cells[i], key, payload,
                                                    from_cache=False)
+                    progress.done += 1
+                self._emit(progress)
+
+            def fail(pos: int, exc: BaseException) -> None:
+                """Capture one failed simulation without stopping the rest."""
+                key, j = unique[pos]
+                error = CellError(
+                    cell=cells[j], key=key,
+                    error=f"{type(exc).__name__}: {exc}",
+                    tb="".join(traceback.format_exception(
+                        type(exc), exc, exc.__traceback__)))
+                failures.append(error)
+                for i in by_key[key]:
+                    results[i] = error
+                    progress.done += 1
+                    progress.failed += 1
+                    self.stats.cells_failed += 1
+                self._emit(progress)
+
+            jobs_list = [(cells[i], compiled[i]) for _, i in unique]
+            if self.jobs == 1 or len(jobs_list) == 1:
+                for pos, job in enumerate(jobs_list):
+                    try:
+                        payload = _execute_cell(job)
+                    except Exception as exc:  # noqa: BLE001 — isolated per cell
+                        fail(pos, exc)
+                    else:
+                        land(pos, payload)
+            else:
+                self._stream(jobs_list, land, fail)
+
+        if failures and errors == "raise":
+            raise CellExecutionError(
+                failures, completed=len(cells) - progress.failed,
+                total=len(cells))
         return [results[i] for i in range(len(cells))]
 
-    def run_spec(self, spec: SweepSpec) -> List[CellResult]:
+    def run_spec(self, spec: SweepSpec, label: str = "",
+                 errors: str = "raise"
+                 ) -> List[Union[CellResult, CellError]]:
         """Expand a sweep spec and execute its grid."""
-        return self.run(spec.cells())
+        return self.run(spec.cells(), label=label, errors=errors)
 
-    def run_one(self, cell: Cell) -> CellResult:
-        return self.run([cell])[0]
+    def run_one(self, cell: Cell, errors: str = "raise"
+                ) -> Union[CellResult, CellError]:
+        return self.run([cell], errors=errors)[0]
 
     # -- internals -------------------------------------------------------------
-    def _simulate(self, jobs_list: List[Tuple[Cell, Program]]) -> List[dict]:
-        if self.jobs == 1 or len(jobs_list) == 1:
-            return [_execute_cell(job) for job in jobs_list]
-        workers = min(self.jobs, len(jobs_list))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_execute_cell, jobs_list))
+    def _emit(self, progress: Progress) -> None:
+        if self.progress is not None:
+            self.progress(progress)
+
+    def _compile_programs(self, cells: Sequence[Cell],
+                          batch_memo: Dict[Tuple[Union[str, Workload],
+                                                 MachineConfig], Program]
+                          ) -> List[Union[Program, BaseException]]:
+        """Every cell's compiled program — or the exception its compile
+        raised — memoized per (workload, config).
+
+        Pairs missing from the memos compile over the worker pool when the
+        executor is parallel — key computation needs every program before
+        the cache scan, and there is no reason the parent should compile
+        them one by one while the workers sit idle.  Failure isolation
+        starts here, before any simulation: a raising compile is captured
+        per pair (one bad kernel must not abort the grid), only successful
+        compiles count toward ``stats.compiles``, and failed pairs are
+        never memoized, so the next batch retries them.
+        """
+        def memo_for(cell: Cell) -> Dict[Tuple[Union[str, Workload],
+                                               MachineConfig], Program]:
+            return (self._programs if isinstance(cell.workload, str)
+                    else batch_memo)
+
+        todo: List[Tuple[Cell, Tuple[Union[str, Workload], MachineConfig]]] \
+            = []
+        seen = set()
+        for cell in cells:
+            memo_key = (cell.workload, cell.config)
+            if memo_key not in memo_for(cell) and memo_key not in seen:
+                seen.add(memo_key)
+                todo.append((cell, memo_key))
+        failed: Dict[Tuple[Union[str, Workload], MachineConfig],
+                     BaseException] = {}
+
+        def record(cell: Cell, memo_key, outcome) -> None:
+            if isinstance(outcome, BaseException):
+                failed[memo_key] = outcome
+            else:
+                self.stats.compiles += 1
+                memo_for(cell)[memo_key] = outcome
+
+        if todo:
+            if self.jobs > 1 and len(todo) > 1:
+                pool = self._ensure_pool()
+                futures = [(pool.submit(_compile_cell, cell), cell, memo_key)
+                           for cell, memo_key in todo]
+                broken = False
+                try:
+                    for future, cell, memo_key in futures:
+                        try:
+                            program = future.result()
+                        except Exception as exc:  # noqa: BLE001 — per pair
+                            broken = broken or isinstance(exc, BrokenExecutor)
+                            record(cell, memo_key, exc)
+                        else:
+                            record(cell, memo_key, program)
+                except BaseException:
+                    self._discard_pool()
+                    raise
+                if broken:
+                    self._discard_pool()
+            else:
+                for cell, memo_key in todo:
+                    try:
+                        program = _compile_cell(cell)
+                    except Exception as exc:  # noqa: BLE001 — per pair
+                        record(cell, memo_key, exc)
+                    else:
+                        record(cell, memo_key, program)
+
+        def outcome_for(cell: Cell) -> Union[Program, BaseException]:
+            memo_key = (cell.workload, cell.config)
+            program = memo_for(cell).get(memo_key)
+            return program if program is not None else failed[memo_key]
+
+        return [outcome_for(cell) for cell in cells]
+
+    def _stream(self, jobs_list: List[Tuple[Cell, Program]],
+                land: Callable[[int, dict], None],
+                fail: Callable[[int, BaseException], None]) -> None:
+        """Submit every job, finalise each as it completes.
+
+        A worker that dies (OOM killer, segfault) breaks the whole pool:
+        its cell and everything still queued land in ``fail`` with
+        :class:`~concurrent.futures.BrokenExecutor`, the dead pool is
+        discarded so the executor stays usable, and everything that
+        completed before the death was already cached by ``land``.
+        """
+        pool = self._ensure_pool()
+        futures = {pool.submit(_execute_cell, job): pos
+                   for pos, job in enumerate(jobs_list)}
+        broken = False
+        try:
+            for future in as_completed(futures):
+                pos = futures[future]
+                try:
+                    payload = future.result()
+                except Exception as exc:  # noqa: BLE001 — isolated per cell
+                    broken = broken or isinstance(exc, BrokenExecutor)
+                    fail(pos, exc)
+                else:
+                    land(pos, payload)
+        except BaseException:
+            # Interrupted mid-drain (Ctrl-C, a raising progress callback):
+            # abandon what is left — everything finalised so far is cached.
+            self._discard_pool()
+            raise
+        if broken:
+            self._discard_pool()
 
     @staticmethod
     def _materialise(cell: Cell, key: str, payload: dict,
@@ -598,9 +1046,11 @@ def figure3_spec(workloads: Sequence[Union[str, Workload]],
 
 
 def make_executor(jobs: int = 1, cache: bool = False,
-                  cache_dir: Union[str, Path] = DEFAULT_CACHE_DIR
+                  cache_dir: Union[str, Path] = DEFAULT_CACHE_DIR,
+                  progress: Optional[ProgressCallback] = None
                   ) -> CellExecutor:
     """Build an executor from the CLI-style knobs (--jobs / --no-cache /
-    --cache-dir)."""
+    --cache-dir / --progress)."""
     return CellExecutor(jobs=jobs,
-                        cache=ResultCache(cache_dir) if cache else None)
+                        cache=ResultCache(cache_dir) if cache else None,
+                        progress=progress)

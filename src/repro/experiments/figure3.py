@@ -95,17 +95,18 @@ class Figure3Panel:
 def build_panels(workload_names: Sequence[str],
                  params: Optional[TimingParams] = None,
                  check: bool = False,
-                 executor: Optional[CellExecutor] = None
-                 ) -> Dict[str, Figure3Panel]:
+                 executor: Optional[CellExecutor] = None,
+                 label: str = "figure3") -> Dict[str, Figure3Panel]:
     """Run the Fig. 3 grid for several applications as ONE cell batch.
 
-    Batching lets a parallel executor fan every (workload × configuration)
-    cell out at once instead of panel by panel; results come back in grid
-    order, so rendering is identical to the serial path.
+    Batching lets a parallel executor stream every (workload ×
+    configuration) cell at once instead of panel by panel; results come
+    back in grid order, so rendering is identical to the serial path.
+    ``label`` names the batch in the executor's progress reporting.
     """
     executor = executor or CellExecutor()
     spec = figure3_spec(workload_names, params=params, check=check)
-    results = executor.run_spec(spec)
+    results = executor.run_spec(spec, label=label)
 
     panels: Dict[str, Figure3Panel] = {}
     for name, chunk in spec.chunk_by_workload(results):

@@ -101,7 +101,7 @@ def build_figure4(params: Optional[TimingParams] = None,
         executor = executor or CellExecutor()
         spec = SweepSpec(workloads=list(workload_names or WORKLOAD_NAMES),
                          configs=native_cfgs + ava_cfgs, params=(params,))
-        results = executor.run_spec(spec)
+        results = executor.run_spec(spec, label="figure4")
         per_workload = {
             name: fill_speedups([record_from_result(r) for r in chunk],
                                 baseline_index=0)

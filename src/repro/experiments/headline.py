@@ -54,7 +54,7 @@ def check_headline_claims(
     if panels is None:
         names = list(CLAIM_WORKLOADS) + [n for n in extra_workloads
                                          if n not in CLAIM_WORKLOADS]
-        panels = build_panels(names, executor=executor)
+        panels = build_panels(names, executor=executor, label="claims")
     claims: List[Claim] = []
 
     axpy = panels["axpy"]

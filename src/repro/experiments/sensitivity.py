@@ -150,17 +150,21 @@ def build_sensitivity(executor: Optional[CellExecutor] = None,
     executor = executor or CellExecutor()
     machines = _machines()
 
-    def sweep(memsys: Sequence[Optional[MemorySystemConfig]] = (None,),
+    def sweep(axis: str,
+              memsys: Sequence[Optional[MemorySystemConfig]] = (None,),
               params: Sequence[Optional[TimingParams]] = (None,)
               ) -> List[CellResult]:
         return executor.run_spec(SweepSpec(
             workloads=[workload], configs=machines,
-            params=params, memsys=memsys))
+            params=params, memsys=memsys),
+            label=f"sensitivity[{axis}]")
 
-    l2 = sweep(memsys=[_memory_with_l2_latency(v) for v in L2_LATENCIES])
-    dram = sweep(memsys=[_memory_with_dram_latency(v)
-                         for v in DRAM_LATENCIES])
-    swap = sweep(params=[_timing_with_swap_budget(v) for v in SWAP_BUDGETS])
+    l2 = sweep("l2", memsys=[_memory_with_l2_latency(v)
+                             for v in L2_LATENCIES])
+    dram = sweep("dram", memsys=[_memory_with_dram_latency(v)
+                                 for v in DRAM_LATENCIES])
+    swap = sweep("swap", params=[_timing_with_swap_budget(v)
+                                 for v in SWAP_BUDGETS])
 
     return SensitivityStudy(
         workload=workload,

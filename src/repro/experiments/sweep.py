@@ -313,5 +313,5 @@ def run_sweep(spec: Union[str, Path, dict, ParsedSweep],
     parsed = spec if isinstance(spec, ParsedSweep) else parse_sweep(spec)
     pairs = parsed.labelled_cells()
     executor = executor or CellExecutor()
-    results = executor.run([cell for _, cell in pairs])
+    results = executor.run([cell for _, cell in pairs], label=parsed.name)
     return _render(parsed, [label for label, _ in pairs], results)

@@ -125,11 +125,19 @@ class SimStats:
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimStats":
-        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        """Inverse of :meth:`to_dict`; unknown keys are rejected.
+
+        ``meta`` is copied on the way in, mirroring :meth:`to_dict`'s copy
+        on the way out — mutating a materialised instance must never
+        corrupt the caller's dict (e.g. a cached payload shared by every
+        cell that replays it).
+        """
         known = {f.name for f in fields(cls)}
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown SimStats fields: {sorted(unknown)}")
+        if "meta" in data:
+            data = {**data, "meta": dict(data["meta"])}
         return cls(**data)
 
     def summary(self) -> str:

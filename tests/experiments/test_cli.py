@@ -100,6 +100,39 @@ def test_figure3_bare_extended_runs_the_ten_kernel_suite(monkeypatch,
     capsys.readouterr()
 
 
+def test_progress_renders_to_stderr_and_never_touches_stdout(capsys,
+                                                             cache_args):
+    assert main(["figure3", "axpy", "--progress"] + cache_args) == 0
+    first = capsys.readouterr()
+    assert "\r" in first.err and "figure3:" in first.err
+    assert "14/14 cells" in first.err
+    assert "cells |" not in first.out  # stdout is artifact-only
+
+    # Same artifact without progress: stdout must be byte-identical.
+    assert main(["figure3", "axpy", "--no-progress"] + cache_args) == 0
+    second = capsys.readouterr()
+    assert second.out == first.out
+    assert second.err == ""
+
+
+def test_progress_defaults_off_when_stderr_is_not_a_terminal(capsys,
+                                                             cache_args):
+    """Piped/captured stderr (like CI greps) stays clean by default."""
+    assert main(["figure3", "axpy"] + cache_args) == 0
+    assert capsys.readouterr().err == ""
+
+
+def test_progress_line_precedes_cache_stats_cleanly(capsys, cache_args):
+    """--progress and --cache-stats share stderr without interleaving."""
+    assert main(["figure3", "axpy", "--progress", "--cache-stats"]
+                + cache_args) == 0
+    err = capsys.readouterr().err
+    assert "14 kernel compiles" in err
+    stats_section = err[err.rindex("engine:"):]
+    assert "\r" not in stats_section  # the live line was terminated first
+    assert err[err.rindex("engine:") - 1] == "\n"
+
+
 def test_bench_rejects_workloads_selector():
     with pytest.raises(SystemExit):
         main(["bench", "engine", "--workloads", "spmv"])

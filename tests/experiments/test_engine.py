@@ -261,12 +261,17 @@ def test_stats_are_consistent_without_a_cache():
     assert "2 misses, 2 simulations executed" in stats.summary()
 
 
-def test_cache_entries_honor_the_umask(tmp_path):
+def test_cache_entries_honor_the_umask(tmp_path, monkeypatch):
     """mkstemp's 0600 must not leak into the shared cache directory."""
     import os
     import stat
 
+    import repro.experiments.engine as engine
+
     old = os.umask(0o022)
+    # The umask is read once per process; re-read it under the value this
+    # test pins so an earlier memoisation cannot leak in.
+    monkeypatch.setattr(engine, "_PROCESS_UMASK", None)
     try:
         cache = ResultCache(tmp_path / "cache")
         CellExecutor(cache=cache).run_one(
@@ -276,7 +281,7 @@ def test_cache_entries_honor_the_umask(tmp_path):
         mode = stat.S_IMODE(entries[0].stat().st_mode)
         assert mode == 0o644
     finally:
-        os.umask(old)
+        os.umask(old)  # monkeypatch restores the memoised umask itself
 
 
 def test_cache_clear(tmp_path):

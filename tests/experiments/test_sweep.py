@@ -150,6 +150,16 @@ def test_cli_sweep_runs_a_spec_file(tmp_path, capsys):
     assert "slow-dram" in out
 
 
+def test_cli_sweep_progress_is_labelled_with_the_spec_name(tmp_path,
+                                                           capsys):
+    path = tmp_path / "grid.json"
+    path.write_text(json.dumps(BASE_SPEC))
+    assert main(["sweep", str(path), "--progress",
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    err = capsys.readouterr().err
+    assert "grid: " in err and "4/4 cells" in err
+
+
 def test_cli_sweep_rejects_bad_usage(tmp_path):
     with pytest.raises(SystemExit):
         main(["sweep"])  # no spec file
@@ -169,7 +179,7 @@ def test_cli_sweep_does_not_mask_execution_errors(tmp_path, monkeypatch):
     path = tmp_path / "grid.json"
     path.write_text(json.dumps(BASE_SPEC))
 
-    def boom(self, cells):
+    def boom(self, cells, **kwargs):
         raise ValueError("simulated mid-grid failure")
 
     monkeypatch.setattr(engine.CellExecutor, "run", boom)

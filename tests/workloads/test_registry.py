@@ -166,8 +166,7 @@ def test_registered_kernel_flows_through_spec_and_cache_keys(tmp_path):
                          configs=(config,), check=True)
         cells = spec.cells()
         executor = CellExecutor()
-        batch_memo = {}
-        programs = [executor._program_for(c, batch_memo) for c in cells]
+        programs = executor._compile_programs(cells, {})
         keys = [cell_key(c, p) for c, p in zip(cells, programs)]
         assert len(set(keys)) == len(keys)  # no collisions across names
 
