@@ -15,7 +15,10 @@ Artifacts:
   policy) grid from a declarative JSON spec file naming per-axis presets
   or inline overrides (see :mod:`repro.experiments.sweep`);
 * ``sensitivity`` — the machine-axis sensitivity study (L2 latency, DRAM
-  penalty, swap budget over AVA X4/X8 vs NATIVE).
+  penalty, swap budget over AVA X4/X8 vs NATIVE);
+* ``cache stats`` / ``cache clear [--traces|--results]`` — inspect or
+  prune the two persistent stores (cell results at ``--cache-dir``,
+  compiled traces under its ``traces/`` subdirectory).
 
 Simulation-backed artifacts (``figure3``, ``figure4``, ``claims``) run
 through the experiment-execution engine:
@@ -52,13 +55,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("artifact",
                         choices=["table1", "table2", "table3", "table4",
                                  "table5", "figure3", "figure4", "figure5",
-                                 "claims", "bench", "sweep", "sensitivity"])
+                                 "claims", "bench", "sweep", "sensitivity",
+                                 "cache"])
     parser.add_argument("workload", nargs="?", default=None,
                         help="application for figure3 (a registered name, "
                              "'all' for Table IV, 'extended' for the "
                              "ten-kernel suite; default: axpy); benchmark "
                              "name for bench ('engine'); spec file path "
-                             "for sweep")
+                             "for sweep; action for cache ('stats' or "
+                             "'clear'; default: stats)")
+    parser.add_argument("--traces", action="store_true",
+                        help="cache clear: prune only the trace store")
+    parser.add_argument("--results", action="store_true",
+                        help="cache clear: prune only the result store")
     parser.add_argument("--extended", action="store_true",
                         help="run the extended ten-kernel suite "
                              "(figure3 [all] / figure4 / claims / "
@@ -108,6 +117,10 @@ def main(argv: list[str] | None = None) -> int:
 
 def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace,
               renderer: ProgressRenderer | None) -> int:
+    if args.artifact == "cache":
+        return _cache_command(parser, args)
+    if args.traces or args.results:
+        parser.error("--traces/--results apply only to 'cache clear'")
     if args.artifact == "bench":
         if args.workload != "engine":
             parser.error("available benchmarks: engine")
@@ -140,6 +153,52 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace,
         return code
     finally:
         executor.close()
+
+
+def _format_size(n_bytes: int) -> str:
+    if n_bytes >= 1024 * 1024:
+        return f"{n_bytes / (1024 * 1024):.1f} MiB"
+    if n_bytes >= 1024:
+        return f"{n_bytes / 1024:.1f} KiB"
+    return f"{n_bytes} B"
+
+
+def _cache_command(parser: argparse.ArgumentParser,
+                   args: argparse.Namespace) -> int:
+    """``repro cache stats`` / ``repro cache clear [--traces|--results]``.
+
+    Both stores live under ``--cache-dir``: cell results at the root,
+    compiled traces in its ``traces/`` subdirectory.  ``clear`` prunes
+    both unless narrowed by a flag.
+    """
+    from pathlib import Path
+
+    from repro.compiler.store import TRACE_SUBDIR, TraceStore
+    from repro.experiments.engine import ResultCache
+
+    action = args.workload or "stats"
+    if action not in ("stats", "clear"):
+        parser.error(f"cache actions: stats, clear (got {action!r})")
+    if args.no_cache:
+        parser.error("--no-cache does not apply to the cache command")
+    if (args.traces or args.results) and action != "clear":
+        parser.error("--traces/--results apply only to 'cache clear'")
+    root = Path(args.cache_dir)
+    results = ResultCache(root)
+    traces = TraceStore(root / TRACE_SUBDIR)
+    if action == "stats":
+        print(f"cache at {root}")
+        for label, store in (("results", results), ("traces", traces)):
+            entries, size = store.stats()
+            print(f"  {label}: {entries} entries, {_format_size(size)}")
+    else:
+        # Neither flag means both stores, exactly like a full wipe.
+        both = not (args.traces or args.results)
+        if args.results or both:
+            print(f"cleared {results.clear()} result entries")
+        if args.traces or both:
+            print(f"cleared {traces.clear()} trace entries")
+    return 0
 
 
 def _render_artifact(parser: argparse.ArgumentParser,

@@ -1,0 +1,176 @@
+"""Crash-safe, umask-honouring JSON file stores shared by the caches.
+
+Both persistent stores — the engine's :class:`~repro.experiments.engine.
+ResultCache` (cell results) and the compiler's :class:`~repro.compiler.
+store.TraceStore` (compiled instruction traces) — need the same disk
+discipline:
+
+* one JSON file per key, written atomically (tempfile + ``os.replace``)
+  so concurrent processes can share a store directory;
+* tempfiles orphaned by SIGKILL-ed writers reaped opportunistically, past
+  a grace window so in-flight writers are never raced;
+* entries chmod-ed to what a plain ``open()`` would have produced under
+  the process umask, so a shared directory serves every user the umask
+  promises to serve.
+
+:class:`AtomicJsonStore` owns all of it; subclasses add only their schema
+check (:meth:`AtomicJsonStore._validate`) and payload shapes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+_PROCESS_UMASK: Optional[int] = None
+
+
+def process_umask() -> int:
+    """The process umask, read once and reused for every store write.
+
+    POSIX only exposes the umask by *setting* it, and that flip is
+    process-global — concurrent executors flipping it per ``put`` could
+    observe each other's transient zero.  Reading it a single time per
+    process keeps every later write race-free (a process that changes its
+    umask mid-run keeps the startup value, which is the documented
+    shared-store contract).
+    """
+    global _PROCESS_UMASK
+    if _PROCESS_UMASK is None:
+        umask = os.umask(0)
+        os.umask(umask)
+        _PROCESS_UMASK = umask
+    return _PROCESS_UMASK
+
+
+class AtomicJsonStore:
+    """Content-addressed JSON store: one file per key under ``root``.
+
+    Writes are atomic (tempfile + ``os.replace``) so concurrent processes
+    can share a store directory.  A writer killed between ``mkstemp`` and
+    ``os.replace`` leaves a ``*.tmp`` orphan behind; those are reaped by
+    :meth:`clear` (past a short grace, so in-flight writers are never
+    raced) and — once per store instance, for stale ones — on :meth:`put`.
+    """
+
+    #: A ``*.tmp`` older than this is an orphan from a killed writer, not
+    #: a concurrent in-flight write, and may be reaped.
+    TMP_MAX_AGE_S = 3600.0
+
+    #: :meth:`clear` reaps tempfiles past this much shorter grace — long
+    #: enough that a concurrent writer between ``mkstemp`` and
+    #: ``os.replace`` (milliseconds) is never raced, short enough that an
+    #: explicit wipe still takes recent orphans with it.
+    CLEAR_GRACE_S = 60.0
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self._swept = False
+
+    # -- layout ----------------------------------------------------------------
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def stats(self) -> Tuple[int, int]:
+        """(number of entries, total bytes) currently on disk."""
+        entries = 0
+        size = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*.json"):
+                try:
+                    size += entry.stat().st_size
+                except OSError:
+                    continue  # deleted concurrently
+                entries += 1
+        return entries, size
+
+    # -- orphan reaping --------------------------------------------------------
+    def sweep_orphans(self, max_age_s: Optional[float] = None) -> int:
+        """Reap tempfiles abandoned by SIGKILL-ed writers; returns a count.
+
+        Only files older than ``max_age_s`` (default
+        :data:`TMP_MAX_AGE_S`) go, so a concurrent writer mid-``put`` is
+        never raced; pass ``0`` to reap unconditionally.
+        """
+        if max_age_s is None:
+            max_age_s = self.TMP_MAX_AGE_S
+        cutoff = time.time() - max_age_s
+        removed = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*.tmp"):
+                try:
+                    if max_age_s <= 0 or entry.stat().st_mtime <= cutoff:
+                        entry.unlink()
+                        removed += 1
+                except OSError:
+                    pass  # another process reaped (or finished) it first
+        return removed
+
+    # -- payload validation ----------------------------------------------------
+    def _validate(self, payload: dict) -> bool:
+        """Subclass hook: is this payload structurally sound (right schema,
+        required sections present)?  Failing entries read as misses."""
+        return True
+
+    # -- read / write / clear --------------------------------------------------
+    def get(self, key: str) -> Optional[dict]:
+        """The stored payload, or None (corrupt entries are misses).
+
+        Corrupt includes structurally truncated entries: valid JSON that
+        fails the subclass :meth:`_validate` check must be re-derived by
+        the caller, never crash it.
+        """
+        try:
+            payload = json.loads(self.path(key).read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if not self._validate(payload):
+            return None
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        if not self._swept:
+            # Opportunistic orphan reaping, once per store instance so the
+            # directory scan never becomes a per-put cost on hot sweeps.
+            self._swept = True
+            self.sweep_orphans()
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            # mkstemp creates the file 0600; widen to what a plain open()
+            # would have produced under the process umask, or entries
+            # written by one user are unreadable to the other processes the
+            # shared-directory contract promises to serve.
+            os.chmod(tmp, 0o666 & ~process_umask())
+            os.replace(tmp, self.path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry plus orphaned tempfiles; returns how many
+        files were removed.
+
+        Tempfiles younger than :data:`CLEAR_GRACE_S` survive: one may be
+        a concurrent writer mid-``put``, and unlinking it would crash
+        that writer's ``os.replace`` — entries, by contrast, can go at
+        any age because replacing over a deleted path is safe.
+        """
+        removed = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*.json"):
+                entry.unlink()
+                removed += 1
+            removed += self.sweep_orphans(max_age_s=self.CLEAR_GRACE_S)
+        return removed

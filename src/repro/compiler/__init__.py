@@ -11,7 +11,11 @@ This package reproduces that tool-chain stage:
   register allocator that inserts ``Spill-Load`` / ``Spill-Store``
   instructions tagged for Figure 3's memory-instruction breakdown,
 * :mod:`repro.compiler.trace` — strip-mine unrolling of kernel bodies into
-  SSA traces with per-iteration vector lengths and memory rebasing.
+  SSA traces with per-iteration vector lengths and memory rebasing,
+* :mod:`repro.compiler.signature` — the (mvl, n_logical) compile signature
+  that fully determines a compiled program,
+* :mod:`repro.compiler.store` — the persistent content-addressed trace
+  store (compile once per signature per repo, replay everywhere).
 
 AVA and NATIVE configurations always execute the LMUL=1 binary (32
 architectural registers); Register Grouping configurations execute binaries
@@ -20,6 +24,8 @@ allocated with 32/LMUL registers.
 
 from repro.compiler.liveness import NextUse, live_pressure
 from repro.compiler.allocator import AllocationResult, allocate
+from repro.compiler.signature import CompileSignature
+from repro.compiler.store import TRACE_SCHEMA, TraceStore
 from repro.compiler.trace import StripSchedule, unroll_kernel
 
 __all__ = [
@@ -27,6 +33,9 @@ __all__ = [
     "live_pressure",
     "AllocationResult",
     "allocate",
+    "CompileSignature",
+    "TRACE_SCHEMA",
+    "TraceStore",
     "StripSchedule",
     "unroll_kernel",
 ]

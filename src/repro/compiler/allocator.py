@@ -59,6 +59,25 @@ class AllocationResult:
     def spill_free(self) -> bool:
         return self.spill_loads == 0 and self.spill_stores == 0
 
+    def to_dict(self) -> dict:
+        """Scalar fields only: ``insts`` is the program's trace, stored
+        once by :class:`repro.compiler.store.TraceStore`, not duplicated."""
+        return {"n_regs": self.n_regs, "spill_loads": self.spill_loads,
+                "spill_stores": self.spill_stores,
+                "spill_slots": self.spill_slots,
+                "max_pressure": self.max_pressure,
+                "registers_used": self.registers_used}
+
+    @classmethod
+    def from_dict(cls, data: dict,
+                  insts: List[Instruction]) -> "AllocationResult":
+        return cls(insts=insts, n_regs=data["n_regs"],
+                   spill_loads=data["spill_loads"],
+                   spill_stores=data["spill_stores"],
+                   spill_slots=data["spill_slots"],
+                   max_pressure=data["max_pressure"],
+                   registers_used=data["registers_used"])
+
 
 @dataclass
 class _AllocState:

@@ -81,18 +81,29 @@ def unroll_kernel(body: KernelBody, schedule: StripSchedule,
         out.append(inst.remap(identity, vl=mvl))
 
     n_pre = body.n_preamble
+    # Which operands shift is a property of the instruction, not the strip:
+    # loop-body temporaries (id >= n_preamble) move by the per-iteration
+    # offset, preamble registers (loop invariants) keep their ids.  Decide
+    # once per loop instruction here instead of rebuilding a remap dict for
+    # every strip — only the additive offset varies across iterations.
+    templates = [(inst,
+                  inst.dst is not None and inst.dst >= n_pre,
+                  tuple(s >= n_pre for s in inst.srcs),
+                  inst.mem is not None and inst.mem.space is AddressSpace.DATA)
+                 for inst in loop]
     for it, strip in enumerate(schedule.strips):
         out.append(scalar_block(schedule.scalar_cycles))
-        # Loop-body temporaries shift by a per-iteration offset; preamble
-        # registers (loop invariants) keep their ids.
         offset = it * n_body_regs
-        for inst in loop:
-            mapping = {r: (r if r < n_pre else r + offset)
-                       for r in inst.registers}
+        start = strip.start
+        vl = strip.vl
+        for inst, dst_shifts, src_shifts, data_mem in templates:
             mem = inst.mem
-            if mem is not None and mem.space is AddressSpace.DATA:
-                mem = mem.with_base(strip.start * mem.stride + mem.base_elem)
-            out.append(inst.remap(mapping, mem=mem, vl=strip.vl))
+            if data_mem:
+                mem = mem.with_base(start * mem.stride + mem.base_elem)
+            dst = inst.dst + offset if dst_shifts else inst.dst
+            srcs = tuple(s + offset if shifts else s
+                         for s, shifts in zip(inst.srcs, src_shifts))
+            out.append(inst.with_operands(dst, srcs, vl, mem))
     return out
 
 

@@ -80,6 +80,56 @@ def measure_engine_throughput(repeats: int = 3,
     return best
 
 
+def measure_warm_trace_throughput(repeats: int = 3,
+                                  spec: SweepSpec = BENCH_SPEC,
+                                  progress=None) -> dict:
+    """Cold results, warm traces: the compile-once/replay-many speedup.
+
+    Prewarms a throwaway :class:`~repro.compiler.store.TraceStore` with
+    one unmeasured compile per distinct (workload, signature) pair, then
+    times cache-less runs whose every program replays from the store —
+    the steady state of any repo that has run a sweep before.  A fresh
+    executor per repeat keeps the in-process memo out of the measurement.
+    """
+    import tempfile
+
+    from repro.compiler.signature import CompileSignature
+    from repro.compiler.store import TraceStore
+
+    n_cells = len(spec.cells())
+    best: Optional[dict] = None
+    with tempfile.TemporaryDirectory(prefix="repro-bench-traces-") as tmp:
+        store = TraceStore(Path(tmp))
+        seen = set()
+        for cell in spec.cells():
+            workload = cell.resolve_workload()
+            signature = CompileSignature.from_config(cell.config)
+            key = store.key(workload, signature)
+            if key not in seen:
+                seen.add(key)
+                store.put_trace(key, workload.compile(signature))
+        for repeat in range(max(1, repeats)):
+            executor = CellExecutor(traces=TraceStore(Path(tmp)),
+                                    progress=progress)
+            start = time.perf_counter()
+            executor.run_spec(spec, label=f"bench warm-trace run {repeat + 1}")
+            elapsed = time.perf_counter() - start
+            # A benchmark that silently recompiled would measure the wrong
+            # thing entirely.
+            assert executor.stats.compiles == 0, executor.stats.summary()
+            run = {
+                "warm_trace_seconds": round(elapsed, 4),
+                "warm_trace_cells_per_sec": round(n_cells / elapsed, 3),
+                "trace_hits": executor.stats.trace_hits,
+                "trace_misses": executor.stats.trace_misses,
+            }
+            if (best is None or run["warm_trace_cells_per_sec"]
+                    > best["warm_trace_cells_per_sec"]):
+                best = run
+    assert best is not None
+    return best
+
+
 def measure_scheduler_speedup(spec: SweepSpec = BENCH_SPEC) -> dict:
     """Machine-independent check: event-driven scheduler vs the retained
     reference stepper, same grid, same machine, same run.
@@ -147,6 +197,12 @@ def render_report(measured: dict, baseline: Optional[dict]) -> str:
         f"{measured['cycles_skipped']} of {measured['cycles_simulated']} "
         "cycles skipped",
     ]
+    if "warm_trace_cells_per_sec" in measured:
+        lines.insert(2, f"  warm trace store: "
+                        f"{measured['warm_trace_cells_per_sec']} cells/s "
+                        f"({measured['warm_trace_seconds']} s, "
+                        f"{measured['trace_hits']} trace hits, "
+                        "0 kernel compiles)")
     if baseline:
         pr1 = baseline.get("pr1_baseline_cells_per_sec")
         if pr1:
@@ -190,6 +246,8 @@ def run_bench_engine(output: Optional[str] = "BENCH_engine.json",
               "checkout to enable it)")
     measured = measure_engine_throughput(repeats=repeats, spec=spec,
                                          progress=progress)
+    measured.update(measure_warm_trace_throughput(repeats=repeats, spec=spec,
+                                                  progress=progress))
     measured["grid"] = grid
     if baseline and "pr1_baseline_cells_per_sec" in baseline:
         measured["pr1_baseline_cells_per_sec"] = (

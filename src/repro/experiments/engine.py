@@ -32,9 +32,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import sys
-import tempfile
 import time
 import traceback
 from concurrent.futures import (BrokenExecutor, ProcessPoolExecutor,
@@ -46,7 +44,11 @@ from typing import (Callable, Dict, List, Optional, Sequence, TextIO, Tuple,
 
 import numpy as np
 
+from repro.cachefs import AtomicJsonStore
+from repro.compiler.signature import CompileSignature
+from repro.compiler.store import TraceStore
 from repro.core.config import MachineConfig
+from repro.isa.instructions import fingerprint_line
 from repro.isa.program import Program
 from repro.memory.hierarchy import MemorySystemConfig
 from repro.power.mcpat import EnergyReport, McPatModel
@@ -54,7 +56,7 @@ from repro.sim.scenario import CellPolicy, Scenario
 from repro.sim.simulator import Simulator
 from repro.sim.stats import SimStats
 from repro.vpu.params import DEFAULT_TIMING, TimingParams
-from repro.workloads.base import Workload
+from repro.workloads.base import CompiledWorkload, Workload
 from repro.workloads.registry import get_workload
 
 #: Seed used by every experiment so figures are reproducible.  Part of the
@@ -287,13 +289,7 @@ def program_fingerprint(program: Program) -> str:
              f"|spill_slots={program.spill_slots}\n"]
     for name in sorted(program.buffers):
         parts.append(f"buf {name}:{program.buffers[name]}\n")
-    for inst in program.insts:
-        scalar = None if inst.scalar is None else float(inst.scalar).hex()
-        mem = inst.mem and (inst.mem.space.value, inst.mem.buffer,
-                            inst.mem.base_elem, inst.mem.stride,
-                            inst.mem.indexed)
-        parts.append(f"{inst.op.value}|d={inst.dst}|s={inst.srcs}|f={scalar}"
-                     f"|vl={inst.vl}|mem={mem}|tag={inst.tag.value}\n")
+    parts.extend(fingerprint_line(inst) for inst in program.insts)
     # One hash update over the joined trace: identical digest to updating
     # line by line, at a fraction of the call overhead.
     return hashlib.sha256("".join(parts).encode()).hexdigest()
@@ -340,153 +336,72 @@ def cell_key(cell: Cell, program: Program) -> str:
 # ---------------------------------------------------------------------------
 # persistent result cache
 # ---------------------------------------------------------------------------
-_PROCESS_UMASK: Optional[int] = None
-
-
-def _process_umask() -> int:
-    """The process umask, read once and reused for every cache write.
-
-    POSIX only exposes the umask by *setting* it, and that flip is
-    process-global — concurrent executors flipping it per ``put`` could
-    observe each other's transient zero.  Reading it a single time per
-    process keeps every later write race-free (a process that changes its
-    umask mid-run keeps the startup value, which is the documented
-    shared-cache contract).
-    """
-    global _PROCESS_UMASK
-    if _PROCESS_UMASK is None:
-        umask = os.umask(0)
-        os.umask(umask)
-        _PROCESS_UMASK = umask
-    return _PROCESS_UMASK
-
-
-class ResultCache:
+class ResultCache(AtomicJsonStore):
     """Content-addressed JSON store for cell results.
 
-    One file per cell under ``root``; writes are atomic (tempfile +
-    ``os.replace``) so concurrent processes can share a cache directory.
-    A writer killed between ``mkstemp`` and ``os.replace`` leaves a
-    ``*.tmp`` orphan behind; those are reaped by :meth:`clear` (past a
-    short grace, so in-flight writers are never raced) and — once per
-    cache instance, for stale ones — on :meth:`put`.
+    One file per cell under ``root``.  The crash-safe write discipline —
+    atomic tempfile + ``os.replace``, orphan reaping, umask-honouring
+    permissions — is :class:`~repro.cachefs.AtomicJsonStore`'s, shared
+    with the compiler's :class:`~repro.compiler.store.TraceStore`; this
+    class adds only the result payload's schema gate.
     """
 
-    #: A ``*.tmp`` older than this is an orphan from a killed writer, not
-    #: a concurrent in-flight write, and may be reaped.
-    TMP_MAX_AGE_S = 3600.0
-
-    #: :meth:`clear` reaps tempfiles past this much shorter grace — long
-    #: enough that a concurrent writer between ``mkstemp`` and
-    #: ``os.replace`` (milliseconds) is never raced, short enough that an
-    #: explicit wipe still takes recent orphans with it.
-    CLEAR_GRACE_S = 60.0
-
     def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
-        self.root = Path(root)
-        self._swept = False
+        super().__init__(root)
 
-    def sweep_orphans(self, max_age_s: Optional[float] = None) -> int:
-        """Reap tempfiles abandoned by SIGKILL-ed writers; returns a count.
-
-        Only files older than ``max_age_s`` (default
-        :data:`TMP_MAX_AGE_S`) go, so a concurrent writer mid-``put`` is
-        never raced; pass ``0`` to reap unconditionally.
-        """
-        if max_age_s is None:
-            max_age_s = self.TMP_MAX_AGE_S
-        cutoff = time.time() - max_age_s
-        removed = 0
-        if self.root.is_dir():
-            for entry in self.root.glob("*.tmp"):
-                try:
-                    if max_age_s <= 0 or entry.stat().st_mtime <= cutoff:
-                        entry.unlink()
-                        removed += 1
-                except OSError:
-                    pass  # another process reaped (or finished) it first
-        return removed
-
-    def path(self, key: str) -> Path:
-        return self.root / f"{key}.json"
-
-    def get(self, key: str) -> Optional[dict]:
-        """The stored payload, or None (corrupt entries are misses).
-
-        Corrupt includes structurally truncated entries: valid JSON that
-        lost its ``stats``/``energy`` sections must re-simulate, not crash
-        the render.
-        """
-        try:
-            payload = json.loads(self.path(key).read_text())
-        except (OSError, ValueError):
-            return None
-        if not isinstance(payload, dict):
-            return None
-        if payload.get("schema") != CACHE_SCHEMA:
-            return None
-        if not (isinstance(payload.get("stats"), dict)
-                and isinstance(payload.get("energy"), dict)):
-            return None
-        return payload
-
-    def put(self, key: str, payload: dict) -> None:
-        self.root.mkdir(parents=True, exist_ok=True)
-        if not self._swept:
-            # Opportunistic orphan reaping, once per cache instance so the
-            # directory scan never becomes a per-put cost on hot sweeps.
-            self._swept = True
-            self.sweep_orphans()
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh)
-            # mkstemp creates the file 0600; widen to what a plain open()
-            # would have produced under the process umask, or entries
-            # written by one user are unreadable to the other processes the
-            # shared-directory contract promises to serve.
-            os.chmod(tmp, 0o666 & ~_process_umask())
-            os.replace(tmp, self.path(key))
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-
-    def clear(self) -> int:
-        """Delete every entry plus orphaned tempfiles; returns how many
-        files were removed.
-
-        Tempfiles younger than :data:`CLEAR_GRACE_S` survive: one may be
-        a concurrent writer mid-``put``, and unlinking it would crash
-        that writer's ``os.replace`` — entries, by contrast, can go at
-        any age because replacing over a deleted path is safe.
-        """
-        removed = 0
-        if self.root.is_dir():
-            for entry in self.root.glob("*.json"):
-                entry.unlink()
-                removed += 1
-            removed += self.sweep_orphans(max_age_s=self.CLEAR_GRACE_S)
-        return removed
+    def _validate(self, payload: dict) -> bool:
+        """Valid JSON that lost its ``stats``/``energy`` sections (or
+        carries another schema) must re-simulate, not crash the render."""
+        return (payload.get("schema") == CACHE_SCHEMA
+                and isinstance(payload.get("stats"), dict)
+                and isinstance(payload.get("energy"), dict))
 
 
 # ---------------------------------------------------------------------------
 # cell execution
 # ---------------------------------------------------------------------------
-def _execute_cell(job: Tuple[Cell, Program]) -> dict:
+@dataclass(frozen=True)
+class TraceRef:
+    """A pool worker's pointer into a :class:`TraceStore` entry.
+
+    When the executor runs with a trace store, workers receive this tiny
+    (root, key) pair and load the program from disk themselves instead of
+    unpickling a multi-thousand-instruction :class:`Program` over the
+    pipe — the store is the shared transport, the pipe carries ~100 bytes.
+    """
+
+    root: str
+    key: str
+
+
+def _execute_cell(job: Tuple[Cell, Union[Program, TraceRef]]) -> dict:
     """Simulate and measure one pre-compiled cell; returns the cache payload.
 
     Module-level so :class:`ProcessPoolExecutor` can pickle it; must stay
     deterministic — everything it consumes is in the cell (plus
     :data:`DATA_SEED`).  The program was already compiled by the executor
-    for key computation, so it is shipped rather than recompiled.
+    for key computation, so it is never recompiled here: it arrives either
+    in-memory (inline execution) or as a :class:`TraceRef` into the trace
+    store (pool execution).  A ref whose entry vanished or was damaged
+    between dispatch and execution falls back to an in-worker recompile —
+    a pruned store costs time, never a failed cell.
     """
-    cell, program = job
+    cell, source = job
     workload = cell.resolve_workload()
     functional = cell.functional or cell.check
-    sim = Simulator(cell.scenario(), program, functional=functional)
+    sim: Optional[Simulator] = None
+    if isinstance(source, TraceRef):
+        payload = TraceStore(source.root).get(source.key)
+        if payload is not None:
+            try:
+                sim = Simulator.from_trace(cell.scenario(), payload,
+                                           functional=functional)
+            except Exception:  # noqa: BLE001 — damaged entry reads as miss
+                sim = None
+        if sim is None:
+            source = workload.compile(cell.config).program
+    if sim is None:
+        sim = Simulator(cell.scenario(), source, functional=functional)
     rng = np.random.default_rng(DATA_SEED)
     data = workload.init_data(rng)
     if functional:
@@ -514,15 +429,17 @@ def _execute_cell(job: Tuple[Cell, Program]) -> dict:
     }
 
 
-def _compile_cell(cell: Cell) -> Program:
+def _compile_cell(cell: Cell) -> "CompiledWorkload":
     """Compile one cell's kernel (module-level so the pool can pickle it).
 
     Compilation is pure — everything it reads is in the cell — so a
-    parallel executor fans the distinct (workload, config) compiles out
+    parallel executor fans the distinct (workload, signature) compiles out
     over the same worker pool that runs the simulations, instead of
-    serializing them in the parent while the workers sit idle.
+    serializing them in the parent while the workers sit idle.  The full
+    :class:`CompiledWorkload` comes back (not just the program) so the
+    parent can persist it to the trace store.
     """
-    return cell.resolve_workload().compile(cell.config).program
+    return cell.resolve_workload().compile(cell.config)
 
 
 @dataclass
@@ -666,12 +583,19 @@ class ExecutorStats:
     a cache — including every cell of a cache-less executor, so
     ``cache_misses`` always equals ``cells_requested - cache_hits``.
     ``compiles`` counts actual kernel compilations; the per-(workload,
-    config) memo keeps it at the number of *distinct* pairs keyed, however
-    many cells request them and whether or not they hit the cache (key
-    computation needs the program fingerprint, so one compile per pair is
-    the floor).  Named cells memoize for the executor's lifetime;
-    instance-backed cells only within one batch, because the caller owns
-    the instance and may mutate it between batches.  ``sim_*`` counters aggregate the event-driven scheduler's
+    :class:`CompileSignature`) memo keeps it at the number of *distinct*
+    pairs keyed — configurations differing only in simulation-side axes
+    share one compile — however many cells request them and whether or
+    not they hit the cache (key computation needs the program
+    fingerprint, so one compile per pair is the floor).  Named cells
+    memoize for the executor's lifetime; instance-backed cells only
+    within one batch, because the caller owns the instance and may mutate
+    it between batches.  With a trace store attached, ``trace_hits``
+    counts pairs replayed from disk instead of compiled and
+    ``trace_misses`` counts pairs that had to compile (and were then
+    stored) — so ``trace_misses == compiles`` on store-backed executors,
+    and a fully warm store reports ``0 kernel compiles``.  ``sim_*``
+    counters aggregate the event-driven scheduler's
     efficiency over the simulations this executor actually ran (cache hits
     replay stored results and schedule nothing).
     """
@@ -682,6 +606,8 @@ class ExecutorStats:
     cells_failed: int = 0
     sims_executed: int = 0
     compiles: int = 0
+    trace_hits: int = 0
+    trace_misses: int = 0
     sim_cycles: int = 0
     sim_events_processed: int = 0
     sim_cycles_skipped: int = 0
@@ -691,7 +617,9 @@ class ExecutorStats:
                 f"{self.cache_hits} cache hits, "
                 f"{self.cache_misses} misses, "
                 f"{self.sims_executed} simulations executed, "
-                f"{self.compiles} kernel compiles")
+                f"{self.compiles} kernel compiles, "
+                f"{self.trace_hits} trace hits, "
+                f"{self.trace_misses} trace misses")
         if self.cells_failed:
             text += f"\nfailures: {self.cells_failed} cells failed"
         if self.sim_cycles:
@@ -722,25 +650,34 @@ class CellExecutor:
     ``errors="return"`` to receive the :class:`CellError` objects in
     their result positions instead).  ``progress`` is called with a
     :class:`Progress` snapshot as every cell is finalised.
+
+    ``traces`` attaches a persistent :class:`TraceStore`: compile-memo
+    misses consult it before compiling, fresh compiles are written back,
+    and parallel batches ship :class:`TraceRef` pointers to the workers
+    instead of pickled programs.
     """
 
     def __init__(self, jobs: int = 1,
                  cache: Optional[ResultCache] = None,
+                 traces: Optional[TraceStore] = None,
                  progress: Optional[ProgressCallback] = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.cache = cache
+        self.traces = traces
         self.progress = progress
         self.stats = ExecutorStats()
         self._pool: Optional[ProcessPoolExecutor] = None
         # Compilation memo for *named* cells: the registry instantiates a
-        # fresh default-shaped instance per lookup, so (name, config) is
+        # fresh default-shaped instance per lookup, so (name, signature) is
         # pure for the life of the executor.  Instance-backed cells are
         # memoized per batch only (see :meth:`run`): the caller owns the
-        # instance and may mutate it between batches.
-        self._programs: Dict[Tuple[Union[str, Workload], MachineConfig],
-                             Program] = {}
+        # instance and may mutate it between batches.  Values pair the
+        # program with its trace-store key (None without a store), so the
+        # dispatcher can hand workers a :class:`TraceRef`.
+        self._programs: Dict[Tuple[Union[str, Workload], CompileSignature],
+                             Tuple[Program, Optional[str]]] = {}
 
     # -- worker-pool lifecycle -------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -785,10 +722,10 @@ class CellExecutor:
             raise ValueError(f"errors must be 'raise' or 'return', "
                              f"got {errors!r}")
         self.stats.cells_requested += len(cells)
-        # One compile per distinct (workload, config) pair: the program
+        # One compile per distinct (workload, signature) pair: the program
         # feeds both the cache key and (for misses) the simulation itself.
-        batch_memo: Dict[Tuple[Union[str, Workload], MachineConfig],
-                         Program] = {}
+        batch_memo: Dict[Tuple[Union[str, Workload], CompileSignature],
+                         Tuple[Program, Optional[str]]] = {}
         compiled = self._compile_programs(cells, batch_memo)
 
         progress = Progress(total=len(cells), label=label)
@@ -877,7 +814,22 @@ class CellExecutor:
                     self.stats.cells_failed += 1
                 self._emit(progress)
 
-            jobs_list = [(cells[i], compiled[i]) for _, i in unique]
+            # Parallel dispatch ships TraceRef pointers when the store has
+            # the program on disk; inline execution (and the single-job
+            # shortcut below) uses the in-memory program directly, where a
+            # round-trip through the store would only add I/O.
+            use_refs = (self.traces is not None
+                        and self.jobs > 1 and len(unique) > 1)
+            jobs_list: List[Tuple[Cell, Union[Program, TraceRef]]] = []
+            for _, i in unique:
+                source: Union[Program, TraceRef] = compiled[i]
+                if use_refs:
+                    entry = self._memo_for(cells[i], batch_memo).get(
+                        self._memo_key(cells[i]))
+                    if entry is not None and entry[1] is not None:
+                        source = TraceRef(root=str(self.traces.root),
+                                          key=entry[1])
+                jobs_list.append((cells[i], source))
             if self.jobs == 1 or len(jobs_list) == 1:
                 for pos, job in enumerate(jobs_list):
                     try:
@@ -910,82 +862,126 @@ class CellExecutor:
         if self.progress is not None:
             self.progress(progress)
 
+    @staticmethod
+    def _memo_key(cell: Cell) -> Tuple[Union[str, Workload],
+                                       CompileSignature]:
+        """The narrowed compile key: workload identity plus the
+        (mvl, n_logical) signature — never the full machine config."""
+        return (cell.workload, CompileSignature.from_config(cell.config))
+
+    def _memo_for(self, cell: Cell,
+                  batch_memo: Dict[Tuple[Union[str, Workload],
+                                         CompileSignature],
+                                   Tuple[Program, Optional[str]]]
+                  ) -> Dict[Tuple[Union[str, Workload], CompileSignature],
+                            Tuple[Program, Optional[str]]]:
+        return (self._programs if isinstance(cell.workload, str)
+                else batch_memo)
+
     def _compile_programs(self, cells: Sequence[Cell],
                           batch_memo: Dict[Tuple[Union[str, Workload],
-                                                 MachineConfig], Program]
+                                                 CompileSignature],
+                                           Tuple[Program, Optional[str]]]
                           ) -> List[Union[Program, BaseException]]:
         """Every cell's compiled program — or the exception its compile
-        raised — memoized per (workload, config).
+        raised — memoized per (workload, :class:`CompileSignature`).
 
-        Pairs missing from the memos compile over the worker pool when the
-        executor is parallel — key computation needs every program before
-        the cache scan, and there is no reason the parent should compile
-        them one by one while the workers sit idle.  Failure isolation
-        starts here, before any simulation: a raising compile is captured
-        per pair (one bad kernel must not abort the grid), only successful
-        compiles count toward ``stats.compiles``, and failed pairs are
-        never memoized, so the next batch retries them.
+        The signature is the narrowed compile key: configurations that
+        differ only in simulation-side axes (NATIVE/AVA mode, physical
+        VRF, VVR count, lanes, timing) share one compile, so a machine-
+        axis grid compiles each workload once per distinct
+        (mvl, n_logical), not once per machine config.
+
+        With a trace store attached, memo misses consult it first —
+        signatures compiled by any previous run or process replay from
+        disk (``stats.trace_hits``) and only true misses compile.  Those
+        compile over the worker pool when the executor is parallel — key
+        computation needs every program before the cache scan, and there
+        is no reason the parent should compile them one by one while the
+        workers sit idle — and are written back to the store.  Failure
+        isolation starts here, before any simulation: a raising compile is
+        captured per pair (one bad kernel must not abort the grid), only
+        successful compiles count toward ``stats.compiles``, and failed
+        pairs are never memoized, so the next batch retries them.
         """
-        def memo_for(cell: Cell) -> Dict[Tuple[Union[str, Workload],
-                                               MachineConfig], Program]:
-            return (self._programs if isinstance(cell.workload, str)
-                    else batch_memo)
-
-        todo: List[Tuple[Cell, Tuple[Union[str, Workload], MachineConfig]]] \
-            = []
+        pending: List[Tuple[Cell, Tuple[Union[str, Workload],
+                                        CompileSignature]]] = []
         seen = set()
         for cell in cells:
-            memo_key = (cell.workload, cell.config)
-            if memo_key not in memo_for(cell) and memo_key not in seen:
+            memo_key = self._memo_key(cell)
+            if (memo_key not in self._memo_for(cell, batch_memo)
+                    and memo_key not in seen):
                 seen.add(memo_key)
-                todo.append((cell, memo_key))
-        failed: Dict[Tuple[Union[str, Workload], MachineConfig],
+                pending.append((cell, memo_key))
+
+        todo: List[Tuple[Cell, Tuple[Union[str, Workload], CompileSignature],
+                         Optional[str]]] = []
+        if self.traces is not None:
+            for cell, memo_key in pending:
+                key = self.traces.key(cell.resolve_workload(), memo_key[1])
+                stored = self.traces.load(key)
+                if stored is not None:
+                    self.stats.trace_hits += 1
+                    self._memo_for(cell, batch_memo)[memo_key] = (
+                        stored.program, key)
+                else:
+                    todo.append((cell, memo_key, key))
+        else:
+            todo = [(cell, memo_key, None) for cell, memo_key in pending]
+
+        failed: Dict[Tuple[Union[str, Workload], CompileSignature],
                      BaseException] = {}
 
-        def record(cell: Cell, memo_key, outcome) -> None:
+        def record(cell: Cell, memo_key, trace_key: Optional[str],
+                   outcome: Union[CompiledWorkload, BaseException]) -> None:
             if isinstance(outcome, BaseException):
                 failed[memo_key] = outcome
             else:
                 self.stats.compiles += 1
-                memo_for(cell)[memo_key] = outcome
+                if trace_key is not None:
+                    self.stats.trace_misses += 1
+                    self.traces.put_trace(trace_key, outcome)
+                self._memo_for(cell, batch_memo)[memo_key] = (
+                    outcome.program, trace_key)
 
         if todo:
             if self.jobs > 1 and len(todo) > 1:
                 pool = self._ensure_pool()
-                futures = [(pool.submit(_compile_cell, cell), cell, memo_key)
-                           for cell, memo_key in todo]
+                futures = [(pool.submit(_compile_cell, cell), cell, memo_key,
+                            trace_key)
+                           for cell, memo_key, trace_key in todo]
                 broken = False
                 try:
-                    for future, cell, memo_key in futures:
+                    for future, cell, memo_key, trace_key in futures:
                         try:
-                            program = future.result()
+                            compiled = future.result()
                         except Exception as exc:  # noqa: BLE001 — per pair
                             broken = broken or isinstance(exc, BrokenExecutor)
-                            record(cell, memo_key, exc)
+                            record(cell, memo_key, trace_key, exc)
                         else:
-                            record(cell, memo_key, program)
+                            record(cell, memo_key, trace_key, compiled)
                 except BaseException:
                     self._discard_pool()
                     raise
                 if broken:
                     self._discard_pool()
             else:
-                for cell, memo_key in todo:
+                for cell, memo_key, trace_key in todo:
                     try:
-                        program = _compile_cell(cell)
+                        compiled = _compile_cell(cell)
                     except Exception as exc:  # noqa: BLE001 — per pair
-                        record(cell, memo_key, exc)
+                        record(cell, memo_key, trace_key, exc)
                     else:
-                        record(cell, memo_key, program)
+                        record(cell, memo_key, trace_key, compiled)
 
         def outcome_for(cell: Cell) -> Union[Program, BaseException]:
-            memo_key = (cell.workload, cell.config)
-            program = memo_for(cell).get(memo_key)
-            return program if program is not None else failed[memo_key]
+            memo_key = self._memo_key(cell)
+            entry = self._memo_for(cell, batch_memo).get(memo_key)
+            return entry[0] if entry is not None else failed[memo_key]
 
         return [outcome_for(cell) for cell in cells]
 
-    def _stream(self, jobs_list: List[Tuple[Cell, Program]],
+    def _stream(self, jobs_list: List[Tuple[Cell, Union[Program, TraceRef]]],
                 land: Callable[[int, dict], None],
                 fail: Callable[[int, BaseException], None]) -> None:
         """Submit every job, finalise each as it completes.
@@ -1050,7 +1046,16 @@ def make_executor(jobs: int = 1, cache: bool = False,
                   progress: Optional[ProgressCallback] = None
                   ) -> CellExecutor:
     """Build an executor from the CLI-style knobs (--jobs / --no-cache /
-    --cache-dir / --progress)."""
+    --cache-dir / --progress).
+
+    ``cache=True`` wires both persistent stores: cell results at
+    ``cache_dir`` and compiled traces under ``cache_dir/traces``.
+    ``--no-cache`` (``cache=False``) disables both — no disk is touched.
+    """
+    from repro.compiler.store import TRACE_SUBDIR
+    root = Path(cache_dir)
     return CellExecutor(jobs=jobs,
-                        cache=ResultCache(cache_dir) if cache else None,
+                        cache=ResultCache(root) if cache else None,
+                        traces=TraceStore(root / TRACE_SUBDIR) if cache
+                        else None,
                         progress=progress)

@@ -125,6 +125,24 @@ class Instruction:
             return self.srcs
         return self.srcs + (self.dst,)
 
+    def with_operands(self, dst: Optional[int], srcs: Tuple[int, ...],
+                      vl: int, mem: Optional[MemOperand]) -> "Instruction":
+        """Low-level copy with pre-mapped operands.
+
+        Rewriting operands cannot change the instruction's shape (operand
+        counts, opcode kind, dst presence), so the copy is built directly
+        instead of re-running ``__init__`` validation — this is the
+        compiler's hottest loop (one copy per instruction per strip-mine
+        iteration).  :meth:`remap` layers the mapping-dict form on top.
+        """
+        if vl <= 0:
+            raise ValueError("vector instructions need vl >= 1")
+        clone = object.__new__(Instruction)
+        d = dict(self.__dict__)
+        d.update(dst=dst, srcs=srcs, vl=vl, mem=mem, uid=next(_seq_counter))
+        clone.__dict__.update(d)
+        return clone
+
     def remap(self, mapping: dict[int, int],
               mem: Optional[MemOperand] = None,
               vl: Optional[int] = None) -> "Instruction":
@@ -132,25 +150,60 @@ class Instruction:
 
         Used by the register allocator (virtual -> architectural) and by the
         strip-mining trace emitter (rebasing memory operands per iteration).
-        Remapping cannot change the instruction's shape (operand counts,
-        opcode kind, dst presence), so the copy is built directly instead of
-        re-running ``__init__`` validation — this is the compiler's hottest
-        loop (one copy per instruction per strip-mine iteration).
         """
-        new_vl = self.vl if vl is None else vl
-        if new_vl <= 0:
-            raise ValueError("vector instructions need vl >= 1")
-        clone = object.__new__(Instruction)
-        d = dict(self.__dict__)
-        d.update(
+        return self.with_operands(
             dst=None if self.dst is None else mapping[self.dst],
             srcs=tuple(mapping[s] for s in self.srcs),
-            vl=new_vl,
-            mem=self.mem if mem is None else mem,
+            vl=self.vl if vl is None else vl,
+            mem=self.mem if mem is None else mem)
+
+    def to_dict(self) -> dict:
+        """Exact JSON form for the trace store.
+
+        Defaulted fields are elided (keeps axpy-class traces a third the
+        size); ``uid`` is deliberately dropped — it is an in-process
+        construction counter, and a loaded trace gets fresh ones.  Scalars
+        survive JSON exactly: ``json.dump`` emits the shortest round-trip
+        repr of a double.
+        """
+        d: dict = {"op": self.op.value, "vl": self.vl}
+        if self.dst is not None:
+            d["dst"] = self.dst
+        if self.srcs:
+            d["srcs"] = list(self.srcs)
+        if self.scalar is not None:
+            d["scalar"] = self.scalar
+        if self.mem is not None:
+            d["mem"] = self.mem.to_dict()
+        if self.tag is not Tag.NORMAL:
+            d["tag"] = self.tag.value
+        return d
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Instruction":
+        """Rebuild from :meth:`to_dict` output, trusted (no re-validation).
+
+        Traces only reach here through the store's schema gate and
+        content-addressed key, so the shape checks ``__post_init__`` runs
+        on freshly built instructions are skipped — loading a stored trace
+        must stay much cheaper than recompiling it.  Genuinely mangled
+        payloads still fail loudly here (bad opcode/tag names raise) and
+        the store turns that into a miss.
+        """
+        mem = data.get("mem")
+        inst = object.__new__(cls)
+        inst.__dict__.update(
+            op=Op(data["op"]),
+            dst=data.get("dst"),
+            srcs=tuple(data.get("srcs", ())),
+            scalar=data.get("scalar"),
+            vl=data["vl"],
+            mem=None if mem is None else MemOperand.from_dict(mem),
+            tag=Tag(data.get("tag", Tag.NORMAL.value)),
             uid=next(_seq_counter),
         )
-        clone.__dict__.update(d)
-        return clone
+        inst._fill_derived()
+        return inst
 
     def describe(self) -> str:
         parts = [self.op.value]
@@ -168,6 +221,23 @@ class Instruction:
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return self.describe()
+
+
+def fingerprint_line(inst: Instruction) -> str:
+    """One canonical line per instruction for content hashing.
+
+    Shared by the result cache's program fingerprint and the trace store's
+    kernel-body fingerprint.  Uids are excluded — two builds of the same
+    kernel fingerprint identically.  Scalar operands go through
+    ``float.hex()`` (exact), not the 6-significant-digit display form, so
+    kernels differing only in a constant never collide.
+    """
+    scalar = None if inst.scalar is None else float(inst.scalar).hex()
+    mem = inst.mem and (inst.mem.space.value, inst.mem.buffer,
+                        inst.mem.base_elem, inst.mem.stride,
+                        inst.mem.indexed)
+    return (f"{inst.op.value}|d={inst.dst}|s={inst.srcs}|f={scalar}"
+            f"|vl={inst.vl}|mem={mem}|tag={inst.tag.value}\n")
 
 
 def scalar_block(cycles: float) -> Instruction:

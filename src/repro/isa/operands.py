@@ -56,6 +56,18 @@ class MemOperand:
         return MemOperand(self.space, self.buffer, base_elem, self.stride,
                           self.indexed)
 
+    def to_dict(self) -> dict:
+        """Exact JSON form (every field is an int/str/bool — lossless)."""
+        return {"space": self.space.value, "buffer": self.buffer,
+                "base_elem": self.base_elem, "stride": self.stride,
+                "indexed": self.indexed}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MemOperand":
+        return cls(space=AddressSpace(data["space"]), buffer=data["buffer"],
+                   base_elem=data["base_elem"], stride=data["stride"],
+                   indexed=data["indexed"])
+
     @property
     def unit_stride(self) -> bool:
         return self.stride == 1 and not self.indexed

@@ -121,6 +121,37 @@ class Program:
                 f"program {self.name!r} uses registers outside "
                 f"[0, {n_logical}): {sorted(bad)[:8]}")
 
+    def to_dict(self) -> dict:
+        """Exact JSON form for the trace store (buffers/meta hold only
+        JSON-native scalars, instructions serialize losslessly)."""
+        return {
+            "name": self.name,
+            "insts": [inst.to_dict() for inst in self.insts],
+            "buffers": dict(self.buffers),
+            "spill_slots": self.spill_slots,
+            "mvl": self.mvl,
+            "logical_regs": self.logical_regs,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Program":
+        """Rebuild from :meth:`to_dict` output, trusted.
+
+        Deliberately does NOT re-run :meth:`validate`: traces only reach
+        here through the store's schema gate and content-addressed key, and
+        replaying a stored trace must stay much cheaper than recompiling.
+        """
+        return cls(
+            name=data["name"],
+            insts=[Instruction.from_dict(d) for d in data["insts"]],
+            buffers=dict(data["buffers"]),
+            spill_slots=data["spill_slots"],
+            mvl=data["mvl"],
+            logical_regs=data["logical_regs"],
+            meta=dict(data["meta"]),
+        )
+
     def describe(self, limit: int = 20) -> str:
         """Human-readable dump of the first ``limit`` instructions."""
         lines = [f"program {self.name}: {len(self.insts)} instructions, "

@@ -67,6 +67,20 @@ class Simulator:
             functional=functional, victim_policy=victim_policy,
             aggressive_reclamation=aggressive_reclamation)
 
+    @classmethod
+    def from_trace(cls, config: "MachineConfig | Scenario", trace: dict,
+                   functional: bool = False) -> "Simulator":
+        """Replay entry for stored compiled traces.
+
+        ``trace`` is a :class:`repro.compiler.store.TraceStore` payload;
+        the program is rebuilt via :meth:`Program.from_dict`, which skips
+        ``Program.validate`` — the store's schema gate and content-
+        addressed key are the trust boundary for schema-matched traces,
+        and replaying must stay much cheaper than recompiling.
+        """
+        return cls(config, Program.from_dict(trace["program"]),
+                   functional=functional)
+
     def set_data(self, name: str, values: np.ndarray) -> None:
         """Initialise an application buffer (functional mode only)."""
         self.pipeline.layout.set_data(name, values)

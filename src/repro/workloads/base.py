@@ -17,27 +17,35 @@ immutable :class:`repro.isa.program.Program`.
 
 from __future__ import annotations
 
+import hashlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.compiler.allocator import AllocationResult, allocate
+from repro.compiler.signature import CompileSignature
 from repro.compiler.trace import StripSchedule, unroll_kernel
 from repro.core.config import MachineConfig
 from repro.isa.builder import KernelBody
+from repro.isa.instructions import fingerprint_line
 from repro.isa.program import Program
 from repro.scalar.core import loop_scalar_cycles
 
 
 @dataclass
 class CompiledWorkload:
-    """A program plus its compilation record."""
+    """A program plus its compilation record.
+
+    ``signature`` rather than a full machine config: compilation reads only
+    the (mvl, n_logical) pair, so one compiled workload serves every config
+    sharing that signature (NATIVE X4 and AVA X4 replay the same object).
+    """
 
     program: Program
     allocation: AllocationResult
-    config: MachineConfig
+    signature: CompileSignature
 
 
 class Workload(ABC):
@@ -104,35 +112,63 @@ class Workload(ABC):
             return mvl
         return min(mvl, self.fixed_avl)
 
-    def schedule(self, config: MachineConfig) -> StripSchedule:
+    def schedule(self, config: Union[MachineConfig, CompileSignature]
+                 ) -> StripSchedule:
         vl = self.effective_vl(config.mvl)
         return StripSchedule.for_elements(
             self.n_elements, vl,
             scalar_cycles=loop_scalar_cycles(self.loop_alu_insts))
 
     # -- compilation ------------------------------------------------------------
-    def compile(self, config: MachineConfig) -> CompiledWorkload:
-        """Lower the kernel for ``config`` (LMUL reduces the register supply)."""
-        schedule = self.schedule(config)
-        trace = unroll_kernel(self.body, schedule, config.mvl)
-        allocation = allocate(trace, config.n_logical, config.mvl)
+    def compile_fingerprint(self) -> str:
+        """Content hash of everything :meth:`compile` reads from *this side*.
+
+        Kernel body (exact, uids excluded), strip-mining shape and buffer
+        layout; together with a :class:`CompileSignature` this pins the
+        compiled program completely, so it is the workload half of the
+        trace store's content address.  Two instances producing the same
+        fingerprint compile byte-identical programs.
+        """
+        body = self.body
+        parts = [f"{self.name}|n={self.n_elements}|avl={self.fixed_avl}"
+                 f"|alu={self.loop_alu_insts}|pre={body.n_preamble}"
+                 f"|vregs={body.n_vregs}\n"]
+        for name in sorted(self.buffers):
+            parts.append(f"buf {name}:{self.buffers[name]}\n")
+        parts.extend(fingerprint_line(inst) for inst in body.insts)
+        return hashlib.sha256("".join(parts).encode()).hexdigest()
+
+    def compile(self, target: Union[MachineConfig, CompileSignature]
+                ) -> CompiledWorkload:
+        """Lower the kernel for a machine config or its compile signature.
+
+        Only the signature — (mvl, n_logical) — shapes the output; passing
+        a full config is a convenience that extracts it first.  Under
+        Register Grouping the reduced ``n_logical`` is what makes the
+        allocator spill.
+        """
+        signature = (target if isinstance(target, CompileSignature)
+                     else CompileSignature.from_config(target))
+        schedule = self.schedule(signature)
+        trace = unroll_kernel(self.body, schedule, signature.mvl)
+        allocation = allocate(trace, signature.n_logical, signature.mvl)
         program = Program(
-            name=f"{self.name}@{config.name}",
+            name=f"{self.name}@{signature.label}",
             insts=allocation.insts,
             buffers=dict(self.buffers),
             spill_slots=allocation.spill_slots,
-            mvl=config.mvl,
+            mvl=signature.mvl,
             logical_regs=allocation.registers_used,
             meta={
                 "workload": self.name,
                 "iterations": schedule.n_iterations,
-                "effective_vl": self.effective_vl(config.mvl),
+                "effective_vl": self.effective_vl(signature.mvl),
                 "max_pressure": allocation.max_pressure,
             },
         )
-        program.validate(config.n_logical)
+        program.validate(signature.n_logical)
         return CompiledWorkload(program=program, allocation=allocation,
-                                config=config)
+                                signature=signature)
 
     def describe(self) -> str:
         return (f"{self.name} ({self.domain}, {self.model}): "

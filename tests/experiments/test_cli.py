@@ -54,13 +54,18 @@ def test_figure3_warm_cache_skips_simulation(capsys, cache_args):
 
 
 def test_figure3_warm_cache_reports_memoized_compiles(capsys, cache_args):
-    """Warm replays pay key computation only: one compile per distinct
-    (workload, config) pair, zero simulations."""
+    """Warm replays pay key computation only, and the trace store covers
+    even that: zero compiles, one trace hit per distinct
+    (workload, CompileSignature) pair, zero simulations."""
     assert main(["figure3", "axpy", "--cache-stats"] + cache_args) == 0
-    capsys.readouterr()
+    cold = capsys.readouterr().err
+    # 14 chart configs collapse to 8 distinct (mvl, n_logical) signatures.
+    assert "14 simulations executed, 8 kernel compiles" in cold
+    assert "8 trace misses" in cold
     assert main(["figure3", "axpy", "--cache-stats"] + cache_args) == 0
     err = capsys.readouterr().err
-    assert "0 simulations executed, 14 kernel compiles" in err
+    assert "0 simulations executed, 0 kernel compiles" in err
+    assert "8 trace hits, 0 trace misses" in err
 
 
 def test_figure3_accepts_extended_workload_names(capsys, cache_args):
@@ -127,7 +132,7 @@ def test_progress_line_precedes_cache_stats_cleanly(capsys, cache_args):
     assert main(["figure3", "axpy", "--progress", "--cache-stats"]
                 + cache_args) == 0
     err = capsys.readouterr().err
-    assert "14 kernel compiles" in err
+    assert "8 kernel compiles" in err
     stats_section = err[err.rindex("engine:"):]
     assert "\r" not in stats_section  # the live line was terminated first
     assert err[err.rindex("engine:") - 1] == "\n"
@@ -148,3 +153,52 @@ def test_unknown_workload_selection_rejected(cache_args):
 def test_unknown_artifact_rejected():
     with pytest.raises(SystemExit):
         main(["figure7"])
+
+
+def test_cache_stats_reports_both_stores(capsys, cache_args):
+    assert main(["figure3", "axpy"] + cache_args) == 0
+    capsys.readouterr()
+    assert main(["cache"] + cache_args) == 0  # bare cache == cache stats
+    out = capsys.readouterr().out
+    assert "results: 14 entries" in out
+    assert "traces: 8 entries" in out
+
+
+def test_cache_clear_results_keeps_traces_warm(capsys, cache_args):
+    """The warm-trace workflow: wipe results, keep traces, replay with
+    zero compiles."""
+    assert main(["figure3", "axpy"] + cache_args) == 0
+    capsys.readouterr()
+    assert main(["cache", "clear", "--results"] + cache_args) == 0
+    out = capsys.readouterr().out
+    assert "cleared 14 result entries" in out
+    assert "trace entries" not in out  # --results never touches traces
+
+    assert main(["figure3", "axpy", "--cache-stats"] + cache_args) == 0
+    err = capsys.readouterr().err
+    assert "14 simulations executed, 0 kernel compiles" in err
+    assert "8 trace hits, 0 trace misses" in err
+
+
+def test_cache_clear_wipes_both_stores_by_default(capsys, cache_args):
+    assert main(["figure3", "axpy"] + cache_args) == 0
+    capsys.readouterr()
+    assert main(["cache", "clear"] + cache_args) == 0
+    out = capsys.readouterr().out
+    assert "cleared 14 result entries" in out
+    assert "cleared 8 trace entries" in out
+    assert main(["cache", "stats"] + cache_args) == 0
+    out = capsys.readouterr().out
+    assert "results: 0 entries" in out
+    assert "traces: 0 entries" in out
+
+
+def test_cache_flag_validation():
+    with pytest.raises(SystemExit):
+        main(["cache", "prune"])  # unknown action
+    with pytest.raises(SystemExit):
+        main(["cache", "stats", "--traces"])  # flags are clear-only
+    with pytest.raises(SystemExit):
+        main(["cache", "--no-cache"])  # contradiction
+    with pytest.raises(SystemExit):
+        main(["figure3", "axpy", "--traces"])  # flags are cache-only

@@ -266,12 +266,12 @@ def test_cache_entries_honor_the_umask(tmp_path, monkeypatch):
     import os
     import stat
 
-    import repro.experiments.engine as engine
+    import repro.cachefs as cachefs
 
     old = os.umask(0o022)
     # The umask is read once per process; re-read it under the value this
     # test pins so an earlier memoisation cannot leak in.
-    monkeypatch.setattr(engine, "_PROCESS_UMASK", None)
+    monkeypatch.setattr(cachefs, "_PROCESS_UMASK", None)
     try:
         cache = ResultCache(tmp_path / "cache")
         CellExecutor(cache=cache).run_one(

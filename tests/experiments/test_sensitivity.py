@@ -9,8 +9,21 @@ from repro.experiments.sensitivity import (DRAM_LATENCIES, L2_LATENCIES,
 
 
 @pytest.fixture(scope="module")
-def study():
-    return build_sensitivity(executor=CellExecutor())
+def executor():
+    return CellExecutor()
+
+
+@pytest.fixture(scope="module")
+def study(executor):
+    return build_sensitivity(executor=executor)
+
+
+def test_compiles_once_per_distinct_compile_signature(study, executor):
+    """The narrowed compile key: the study sweeps timing x memory x policy
+    over four machines (NATIVE/AVA at X4 and X8), but NATIVE Xn and AVA Xn
+    share an (mvl, n_logical) signature — so the whole grid compiles its
+    one workload exactly twice, once per scale, not once per machine."""
+    assert executor.stats.compiles == 2
 
 
 def test_study_covers_every_axis_point(study):

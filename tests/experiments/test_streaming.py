@@ -480,14 +480,14 @@ def test_put_reaps_stale_orphans_but_spares_live_writers(tmp_path):
 # ---------------------------------------------------------------------------
 def test_put_never_flips_the_umask_after_the_first_read(tmp_path,
                                                         monkeypatch):
-    import repro.experiments.engine as engine
+    import repro.cachefs as cachefs
 
     previous = os.umask(0o022)
     try:
-        monkeypatch.setattr(engine, "_PROCESS_UMASK", None)
-        assert engine._process_umask() == 0o022
+        monkeypatch.setattr(cachefs, "_PROCESS_UMASK", None)
+        assert cachefs.process_umask() == 0o022
         flips = []
-        monkeypatch.setattr(engine.os, "umask", flips.append)
+        monkeypatch.setattr(cachefs.os, "umask", flips.append)
         cache = ResultCache(tmp_path / "cache")
         cache.put("k", {"schema": 1})
         assert flips == []  # concurrent executors can never race the flip
