@@ -16,9 +16,15 @@ Artifacts:
   or inline overrides (see :mod:`repro.experiments.sweep`);
 * ``sensitivity`` — the machine-axis sensitivity study (L2 latency, DRAM
   penalty, swap budget over AVA X4/X8 vs NATIVE);
-* ``cache stats`` / ``cache clear [--traces|--results]`` — inspect or
-  prune the two persistent stores (cell results at ``--cache-dir``,
-  compiled traces under its ``traces/`` subdirectory).
+* ``chaos <spec.json>`` — run the sweep three times (clean, under a
+  seeded fault plan with worker kills / hangs / cache corruption, then
+  warm over the scarred cache) and assert all three render byte-identical
+  output with zero failed cells (``--seed`` picks the plan);
+* ``cache stats`` / ``cache clear [--traces|--results]`` /
+  ``cache verify`` — inspect, prune or integrity-check the two
+  persistent stores (cell results at ``--cache-dir``, compiled traces
+  under its ``traces/`` subdirectory; ``verify`` re-hashes every entry
+  and quarantines corruption).
 
 Simulation-backed artifacts (``figure3``, ``figure4``, ``claims``) run
 through the experiment-execution engine:
@@ -30,7 +36,13 @@ through the experiment-execution engine:
   artifact sharing cells — is near-instant; ``--no-cache`` disables it.
   Every cell is cached the moment it completes, so an interrupted grid
   resumes by rerunning: finished cells replay as hits;
-* ``--cache-stats`` prints hit/miss/simulation counters to stderr;
+* ``--cache-stats`` prints hit/miss/simulation counters to stderr (plus
+  a ``resilience:`` line — retries, timeouts, quarantined/evicted cache
+  entries — whenever any of those is nonzero);
+* ``--deadline S`` arms a per-cell deadline (a watchdog kills hung
+  workers and retries the cell), ``--retries N`` bounds how many
+  infrastructure failures a cell may survive (default 3), and
+  ``--cache-max-bytes N`` bounds the result cache with LRU eviction;
 * ``--progress`` / ``--no-progress`` force the live stderr progress line
   on or off (default: on when stderr is a terminal).  Progress never
   touches stdout, so piped artifacts stay byte-identical.
@@ -56,14 +68,15 @@ def main(argv: list[str] | None = None) -> int:
                         choices=["table1", "table2", "table3", "table4",
                                  "table5", "figure3", "figure4", "figure5",
                                  "claims", "bench", "sweep", "sensitivity",
-                                 "cache"])
+                                 "chaos", "cache"])
     parser.add_argument("workload", nargs="?", default=None,
                         help="application for figure3 (a registered name, "
                              "'all' for Table IV, 'extended' for the "
                              "ten-kernel suite; default: axpy); benchmark "
                              "name for bench ('engine'); spec file path "
-                             "for sweep; action for cache ('stats' or "
-                             "'clear'; default: stats)")
+                             "for sweep and chaos; action for cache "
+                             "('stats', 'clear' or 'verify'; default: "
+                             "stats)")
     parser.add_argument("--traces", action="store_true",
                         help="cache clear: prune only the trace store")
     parser.add_argument("--results", action="store_true",
@@ -93,6 +106,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-stats", action="store_true",
                         help="print engine cache/simulation counters "
                              "to stderr")
+    parser.add_argument("--cache-max-bytes", type=int, default=None,
+                        metavar="N",
+                        help="bound the result cache to N bytes with "
+                             "least-recently-used eviction (default: "
+                             "unbounded)")
+    parser.add_argument("--deadline", type=float, default=None, metavar="S",
+                        help="per-cell deadline in seconds: hung cells "
+                             "are killed and retried (default: none; "
+                             "chaos defaults to its own)")
+    parser.add_argument("--retries", type=int, default=3, metavar="N",
+                        help="how many infrastructure failures (worker "
+                             "death, timeout, transient I/O) one cell may "
+                             "survive before failing (default: 3)")
+    parser.add_argument("--seed", type=int, default=0, metavar="N",
+                        help="chaos: seed selecting the injected fault "
+                             "plan (default: 0)")
     parser.add_argument("--progress", dest="progress", action="store_true",
                         default=None,
                         help="render a live cells-done/hits/misses/rate "
@@ -121,6 +150,32 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace,
         return _cache_command(parser, args)
     if args.traces or args.results:
         parser.error("--traces/--results apply only to 'cache clear'")
+    if args.artifact == "chaos":
+        if not args.workload:
+            parser.error("chaos needs a JSON spec file: repro chaos "
+                         "examples/sweep_smoke.json")
+        if args.workloads or args.extended:
+            parser.error("--workloads/--extended do not apply to chaos; "
+                         "list the workloads in the spec file")
+        if args.no_cache:
+            parser.error("chaos exercises the cache under faults; "
+                         "--no-cache does not apply")
+        from repro.experiments.chaos import DEFAULT_DEADLINE_S, run_chaos
+        from repro.experiments.sweep import parse_sweep
+        try:
+            parsed = parse_sweep(args.workload)
+        except ValueError as exc:
+            parser.error(str(exc))
+        code = run_chaos(
+            parsed, seed=args.seed, jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            deadline_s=(args.deadline if args.deadline is not None
+                        else DEFAULT_DEADLINE_S),
+            retries=args.retries, progress=renderer,
+            stats_out=sys.stderr if args.cache_stats else None)
+        if renderer is not None:
+            renderer.close()
+        return code
     if args.artifact == "bench":
         if args.workload != "engine":
             parser.error("available benchmarks: engine")
@@ -143,7 +198,9 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace,
             parser.error(str(exc))
 
     executor = make_executor(jobs=args.jobs, cache=not args.no_cache,
-                             cache_dir=args.cache_dir, progress=renderer)
+                             cache_dir=args.cache_dir, progress=renderer,
+                             deadline_s=args.deadline, retries=args.retries,
+                             cache_max_bytes=args.cache_max_bytes)
     try:
         code = _render_artifact(parser, args, executor, selection)
         if renderer is not None:
@@ -177,8 +234,8 @@ def _cache_command(parser: argparse.ArgumentParser,
     from repro.experiments.engine import ResultCache
 
     action = args.workload or "stats"
-    if action not in ("stats", "clear"):
-        parser.error(f"cache actions: stats, clear (got {action!r})")
+    if action not in ("stats", "clear", "verify"):
+        parser.error(f"cache actions: stats, clear, verify (got {action!r})")
     if args.no_cache:
         parser.error("--no-cache does not apply to the cache command")
     if (args.traces or args.results) and action != "clear":
@@ -191,6 +248,19 @@ def _cache_command(parser: argparse.ArgumentParser,
         for label, store in (("results", results), ("traces", traces)):
             entries, size = store.stats()
             print(f"  {label}: {entries} entries, {_format_size(size)}")
+    elif action == "verify":
+        # Re-hash every entry; corruption is moved to quarantine/ (and
+        # thereby re-simulates on the next run), stale/legacy entries are
+        # reported but left in place — they already read as misses.
+        bad = 0
+        print(f"cache at {root}")
+        for label, store in (("results", results), ("traces", traces)):
+            counts = store.verify()
+            print(f"  {label}: {counts['entries']} entries, "
+                  f"{counts['ok']} ok, {counts['quarantined']} quarantined, "
+                  f"{counts['stale']} stale, {counts['legacy']} legacy")
+            bad += counts["quarantined"]
+        return 1 if bad else 0
     else:
         # Neither flag means both stores, exactly like a full wipe.
         both = not (args.traces or args.results)

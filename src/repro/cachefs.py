@@ -1,4 +1,4 @@
-"""Crash-safe, umask-honouring JSON file stores shared by the caches.
+"""Crash-safe, integrity-checked JSON file stores shared by the caches.
 
 Both persistent stores — the engine's :class:`~repro.experiments.engine.
 ResultCache` (cell results) and the compiler's :class:`~repro.compiler.
@@ -7,6 +7,20 @@ discipline:
 
 * one JSON file per key, written atomically (tempfile + ``os.replace``)
   so concurrent processes can share a store directory;
+* an embedded sha256 content checksum, verified on every read: an entry
+  whose bytes rotted (or were damaged by a crashed writer slipping past
+  the atomic rename) is *quarantined* — moved to ``quarantine/`` for
+  post-mortem — and reads as a miss, never as silently-wrong data;
+* optional size-bounded LRU eviction (``max_bytes``): reads refresh an
+  entry's mtime, writes evict the oldest entries until the store fits.
+  Eviction only ever unlinks committed entries (never ``*.tmp`` files),
+  and a concurrent writer's atomic rename re-commits unscathed, so two
+  executors can evict against each other without losing in-flight
+  writes;
+* graceful degradation when the directory is unwritable (read-only
+  filesystem, ENOSPC): the payload lands in an in-process overlay, one
+  warning is emitted, and the run keeps going — a broken disk costs
+  persistence, never results;
 * tempfiles orphaned by SIGKILL-ed writers reaped opportunistically, past
   a grace window so in-flight writers are never raced;
 * entries chmod-ed to what a plain ``open()`` would have produced under
@@ -14,17 +28,24 @@ discipline:
   promises to serve.
 
 :class:`AtomicJsonStore` owns all of it; subclasses add only their schema
-check (:meth:`AtomicJsonStore._validate`) and payload shapes.
+check (:meth:`AtomicJsonStore._validate`), payload shapes and a
+:data:`AtomicJsonStore.FAULT_SITE` name for the fault-injection layer
+(:mod:`repro.faults`) to address them by.
 """
 
 from __future__ import annotations
 
+import errno
+import hashlib
 import json
 import os
 import tempfile
 import time
+import warnings
 from pathlib import Path
-from typing import Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
+
+from repro import faults
 
 _PROCESS_UMASK: Optional[int] = None
 
@@ -48,10 +69,14 @@ def process_umask() -> int:
 
 
 class AtomicJsonStore:
-    """Content-addressed JSON store: one file per key under ``root``.
+    """Content-addressed JSON store: one checksummed file per key.
 
-    Writes are atomic (tempfile + ``os.replace``) so concurrent processes
-    can share a store directory.  A writer killed between ``mkstemp`` and
+    On disk each entry is a wrapper object ``{"sha256": <digest>,
+    "body": <payload JSON as a string>}`` — the digest covers the exact
+    body bytes, so verification never depends on re-canonicalising the
+    payload.  Reads verify the digest and quarantine mismatches; writes
+    are atomic (tempfile + ``os.replace``) so concurrent processes can
+    share a store directory.  A writer killed between ``mkstemp`` and
     ``os.replace`` leaves a ``*.tmp`` orphan behind; those are reaped by
     :meth:`clear` (past a short grace, so in-flight writers are never
     raced) and — once per store instance, for stale ones — on :meth:`put`.
@@ -67,13 +92,31 @@ class AtomicJsonStore:
     #: explicit wipe still takes recent orphans with it.
     CLEAR_GRACE_S = 60.0
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    #: Where integrity failures go for post-mortem (a subdirectory, so
+    #: ``*.json`` globs over the store root never see them).
+    QUARANTINE_SUBDIR = "quarantine"
+
+    #: Site name :mod:`repro.faults` cache specs match against.
+    FAULT_SITE = "store"
+
+    def __init__(self, root: Union[str, Path],
+                 max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None)")
         self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.quarantined = 0
+        self.evicted = 0
         self._swept = False
+        self._mem: Dict[str, dict] = {}
+        self._warned_unwritable = False
 
     # -- layout ----------------------------------------------------------------
     def path(self, key: str) -> Path:
         return self.root / f"{key}.json"
+
+    def quarantine_dir(self) -> Path:
+        return self.root / self.QUARANTINE_SUBDIR
 
     def stats(self) -> Tuple[int, int]:
         """(number of entries, total bytes) currently on disk."""
@@ -116,35 +159,148 @@ class AtomicJsonStore:
         required sections present)?  Failing entries read as misses."""
         return True
 
-    # -- read / write / clear --------------------------------------------------
+    # -- read ------------------------------------------------------------------
     def get(self, key: str) -> Optional[dict]:
-        """The stored payload, or None (corrupt entries are misses).
+        """The stored payload, or None.
 
-        Corrupt includes structurally truncated entries: valid JSON that
-        fails the subclass :meth:`_validate` check must be re-derived by
-        the caller, never crash it.
+        Misses cover the full damage taxonomy: absent files, integrity
+        failures (undecodable bytes, checksum mismatch — quarantined on
+        sight), entries from before the checksum format (``legacy``) and
+        schema-failing payloads (``stale``).  The caller re-derives;
+        nothing a store can contain crashes a read.
         """
-        try:
-            payload = json.loads(self.path(key).read_text())
-        except (OSError, ValueError):
-            return None
-        if not isinstance(payload, dict):
-            return None
-        if not self._validate(payload):
-            return None
-        return payload
+        payload, _ = self._read(key)
+        if payload is not None:
+            return payload
+        return self._mem.get(key)
 
+    def _read(self, key: str) -> Tuple[Optional[dict], str]:
+        """(payload, status) — status is one of ``ok`` / ``absent`` /
+        ``quarantined`` / ``legacy`` / ``stale``."""
+        path = self.path(key)
+        try:
+            raw = path.read_text()
+        except OSError:
+            return None, "absent"
+        try:
+            wrapper = json.loads(raw)
+        except ValueError:
+            self._quarantine(key)
+            return None, "quarantined"
+        if not (isinstance(wrapper, dict)
+                and isinstance(wrapper.get("sha256"), str)
+                and isinstance(wrapper.get("body"), str)):
+            # Pre-checksum formats (and foreign JSON) are stale, not
+            # corrupt: a miss, but nothing worth a post-mortem.
+            return None, "legacy"
+        body = wrapper["body"]
+        if hashlib.sha256(body.encode()).hexdigest() != wrapper["sha256"]:
+            self._quarantine(key)
+            return None, "quarantined"
+        try:
+            payload = json.loads(body)
+        except ValueError:
+            # The digest matched, so the writer itself stored a non-JSON
+            # body — damaged at write time: same post-mortem bucket.
+            self._quarantine(key)
+            return None, "quarantined"
+        if not isinstance(payload, dict) or not self._validate(payload):
+            return None, "stale"
+        self._touch(path)
+        return payload, "ok"
+
+    def _touch(self, path: Path) -> None:
+        """Refresh the entry's mtime so eviction is least-recently-USED,
+        not least-recently-written."""
+        if self.max_bytes is None:
+            return  # unbounded stores skip the syscall on every hit
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # read-only store: LRU degrades to insertion order
+
+    def _quarantine(self, key: str) -> bool:
+        """Move a damaged entry to the quarantine directory (same
+        filesystem, atomic); count it.  On an unwritable store the entry
+        stays put — it still reads as a miss either way."""
+        try:
+            qdir = self.quarantine_dir()
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(self.path(key), qdir / f"{key}.json")
+        except OSError:
+            return False
+        self.quarantined += 1
+        return True
+
+    def verify(self) -> Dict[str, int]:
+        """Check every entry's integrity; quarantine what fails.
+
+        Returns counts: ``entries`` scanned, ``ok``, ``quarantined``
+        (integrity failures moved aside), ``stale`` (wrong schema),
+        ``legacy`` (pre-checksum format).  Safe to run concurrently with
+        readers and writers — every individual step is atomic.
+        """
+        counts = {"entries": 0, "ok": 0, "quarantined": 0, "stale": 0,
+                  "legacy": 0}
+        if not self.root.is_dir():
+            return counts
+        for entry in sorted(self.root.glob("*.json")):
+            payload, status = self._read(entry.stem)
+            if status == "absent":
+                continue  # deleted concurrently: nothing to verify
+            counts["entries"] += 1
+            counts[status] += 1
+        return counts
+
+    # -- write -----------------------------------------------------------------
     def put(self, key: str, payload: dict) -> None:
+        """Persist a payload under ``key`` — or, if the store directory
+        is unwritable (read-only filesystem, disk full), fall back to an
+        in-process overlay with a single warning and keep going."""
+        try:
+            self._put_disk(key, payload)
+        except OSError as exc:
+            self._mem[key] = payload
+            if not self._warned_unwritable:
+                self._warned_unwritable = True
+                warnings.warn(
+                    f"cache at {self.root} is unwritable ({exc}); "
+                    f"continuing with in-memory results — this run's new "
+                    f"cells will not persist", RuntimeWarning,
+                    stacklevel=3)
+
+    def _put_disk(self, key: str, payload: dict) -> None:
+        plan = faults.active_plan()
+        fault = plan.cache_fault(self.FAULT_SITE, key) if plan else None
+        if fault == faults.CACHE_READONLY:
+            raise OSError(errno.EROFS,
+                          "injected fault: read-only file system",
+                          str(self.root))
         self.root.mkdir(parents=True, exist_ok=True)
         if not self._swept:
             # Opportunistic orphan reaping, once per store instance so the
             # directory scan never becomes a per-put cost on hot sweeps.
             self._swept = True
             self.sweep_orphans()
+        # Insertion order, not sort_keys: the digest covers the body's
+        # exact bytes (no canonical form needed), and consumers reload
+        # dicts in the order the writer built them — allocation payloads
+        # are replayed in that order.
+        body = json.dumps(payload)
+        digest = hashlib.sha256(body.encode()).hexdigest()
+        if fault == faults.CACHE_CORRUPT:
+            # Bit rot in miniature: the entry lands structurally intact
+            # but its digest can never match — verify-on-read must catch
+            # and quarantine it.
+            digest = ("0" * 8) + digest[8:]
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh)
+                json.dump({"sha256": digest, "body": body}, fh)
+                if fault == faults.CACHE_ENOSPC:
+                    raise OSError(errno.ENOSPC,
+                                  "injected fault: no space left on device",
+                                  str(self.root))
             # mkstemp creates the file 0600; widen to what a plain open()
             # would have produced under the process umask, or entries
             # written by one user are unreadable to the other processes the
@@ -157,20 +313,77 @@ class AtomicJsonStore:
             except OSError:
                 pass
             raise
+        if self.max_bytes is not None:
+            self._evict(keep=key)
 
+    # -- eviction --------------------------------------------------------------
+    def _evict(self, keep: Optional[str] = None) -> int:
+        """Unlink least-recently-used entries until the store fits
+        ``max_bytes``; returns how many went.
+
+        Never touches ``*.tmp`` files (a concurrent writer's in-flight
+        bytes) and never evicts ``keep`` (the entry just written — with
+        one pathological exception, a single entry larger than the whole
+        budget, the bound holds after every put).  Unlink races with
+        concurrent readers, writers and other evictors are all benign:
+        a reader sees a miss, a writer's ``os.replace`` re-commits.
+        """
+        if self.max_bytes is None or not self.root.is_dir():
+            return 0
+        entries = []
+        total = 0
+        for entry in self.root.glob("*.json"):
+            try:
+                st = entry.stat()
+            except OSError:
+                continue  # evicted by a concurrent executor
+            total += st.st_size
+            entries.append((st.st_mtime, st.st_size, entry))
+        if total <= self.max_bytes:
+            return 0
+        keep_path = self.path(keep) if keep is not None else None
+        removed = 0
+        for mtime, size, entry in sorted(entries, key=lambda e: (e[0],
+                                                                 str(e[2]))):
+            if total <= self.max_bytes:
+                break
+            if keep_path is not None and entry == keep_path:
+                continue
+            try:
+                entry.unlink()
+            except OSError:
+                continue  # already gone: someone else evicted it
+            total -= size
+            removed += 1
+        self.evicted += removed
+        return removed
+
+    # -- clear -----------------------------------------------------------------
     def clear(self) -> int:
         """Delete every entry plus orphaned tempfiles; returns how many
         files were removed.
 
-        Tempfiles younger than :data:`CLEAR_GRACE_S` survive: one may be
-        a concurrent writer mid-``put``, and unlinking it would crash
-        that writer's ``os.replace`` — entries, by contrast, can go at
-        any age because replacing over a deleted path is safe.
+        Safe against concurrent writers: the entry list is snapshotted up
+        front and gated on the clear's start time, so an entry committed
+        *while* the clear runs — a just-finished cell from a live
+        executor — is never deleted, and a racing unlink (two concurrent
+        clears) is not an error.  Tempfiles younger than
+        :data:`CLEAR_GRACE_S` survive: one may be a concurrent writer
+        mid-``put``, and unlinking it would crash that writer's
+        ``os.replace`` — entries, by contrast, can go at any age because
+        replacing over a deleted path is safe.
         """
         removed = 0
+        started = time.time()
         if self.root.is_dir():
-            for entry in self.root.glob("*.json"):
-                entry.unlink()
+            for entry in list(self.root.glob("*.json")):
+                try:
+                    if entry.stat().st_mtime > started:
+                        continue  # committed after the clear began
+                    entry.unlink()
+                except OSError:
+                    continue  # a concurrent clear beat us to it
                 removed += 1
             removed += self.sweep_orphans(max_age_s=self.CLEAR_GRACE_S)
+        self._mem.clear()
         return removed

@@ -93,8 +93,14 @@ def trace_key(workload: "Workload", signature: CompileSignature) -> str:
 class TraceStore(AtomicJsonStore):
     """Compiled traces on disk, one JSON file per content-addressed key."""
 
-    def __init__(self, root: Union[str, Path] = DEFAULT_TRACE_DIR) -> None:
-        super().__init__(root)
+    #: Fault-injection site name (:mod:`repro.faults` cache specs match
+    #: on it): trace writes are ``site="traces"``, cell results
+    #: ``site="results"``.
+    FAULT_SITE = "traces"
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_TRACE_DIR,
+                 max_bytes: Optional[int] = None) -> None:
+        super().__init__(root, max_bytes=max_bytes)
 
     def _validate(self, payload: dict) -> bool:
         return (payload.get("schema") == TRACE_SCHEMA

@@ -32,18 +32,22 @@ from __future__ import annotations
 
 import hashlib
 import json
+import random
+import signal
 import sys
+import threading
 import time
 import traceback
-from concurrent.futures import (BrokenExecutor, ProcessPoolExecutor,
-                                as_completed)
+from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor, Future,
+                                ProcessPoolExecutor, wait)
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import (Callable, Dict, List, Optional, Sequence, TextIO, Tuple,
-                    Union)
+from typing import (Callable, Dict, List, Optional, Sequence, Set, TextIO,
+                    Tuple, Union)
 
 import numpy as np
 
+from repro import faults
 from repro.cachefs import AtomicJsonStore
 from repro.compiler.signature import CompileSignature
 from repro.compiler.store import TraceStore
@@ -346,8 +350,11 @@ class ResultCache(AtomicJsonStore):
     class adds only the result payload's schema gate.
     """
 
-    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
-        super().__init__(root)
+    FAULT_SITE = "results"
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR,
+                 max_bytes: Optional[int] = None) -> None:
+        super().__init__(root, max_bytes=max_bytes)
 
     def _validate(self, payload: dict) -> bool:
         """Valid JSON that lost its ``stats``/``energy`` sections (or
@@ -374,7 +381,20 @@ class TraceRef:
     key: str
 
 
-def _execute_cell(job: Tuple[Cell, Union[Program, TraceRef]]) -> dict:
+#: True only in pool worker processes (set by the pool initializer) — an
+#: injected worker crash hard-exits a worker but must merely *raise* when
+#: the cell executes inline, or it would take the CLI down with it.
+_IN_POOL_WORKER = False
+
+
+def _pool_worker_init() -> None:
+    global _IN_POOL_WORKER
+    _IN_POOL_WORKER = True
+
+
+def _execute_cell(job: Union[Tuple[Cell, Union[Program, TraceRef]],
+                             Tuple[Cell, Union[Program, TraceRef], int]]
+                  ) -> dict:
     """Simulate and measure one pre-compiled cell; returns the cache payload.
 
     Module-level so :class:`ProcessPoolExecutor` can pickle it; must stay
@@ -385,8 +405,17 @@ def _execute_cell(job: Tuple[Cell, Union[Program, TraceRef]]) -> dict:
     store (pool execution).  A ref whose entry vanished or was damaged
     between dispatch and execution falls back to an in-worker recompile —
     a pruned store costs time, never a failed cell.
+
+    The optional third element is the cell's retry attempt number; an
+    active :class:`~repro.faults.FaultPlan` (chaos testing) gates injected
+    crashes/hangs on it, which is how "fails on attempt 0, succeeds on
+    attempt 1" scenarios stay deterministic.
     """
-    cell, source = job
+    cell, source = job[0], job[1]
+    attempt = job[2] if len(job) > 2 else 0
+    plan = faults.active_plan()
+    if plan is not None:
+        plan.fire_cell(cell.label(), attempt, in_worker=_IN_POOL_WORKER)
     workload = cell.resolve_workload()
     functional = cell.functional or cell.check
     sim: Optional[Simulator] = None
@@ -462,6 +491,28 @@ class CellError:
         return self.cell.label()
 
 
+class CellDeadlineExceeded(RuntimeError):
+    """A cell ran past the executor's per-cell deadline.
+
+    Pool mode: the watchdog observed the cell RUNNING for longer than
+    ``deadline_s`` and killed the worker pool out from under it (a hung
+    future cannot be cancelled).  Inline mode: a ``SIGALRM`` timer
+    interrupted the simulation.  Classified as an *infrastructure*
+    failure — retried within the budget, never failed fast — because a
+    hang is a property of the worker's environment (wedged filesystem,
+    livelocked I/O), not of the cell.
+    """
+
+
+#: Failure types the retry budget covers: infrastructure faults (a dead
+#: worker, a deadline-killed hang, transient I/O) where a fresh attempt
+#: can plausibly succeed.  Deterministic cell exceptions — a raising
+#: workload, a bad config — fail fast instead: retrying them burns the
+#: budget reproducing the same traceback.
+_RETRYABLE = (BrokenExecutor, CellDeadlineExceeded,
+              faults.TransientFaultError, OSError)
+
+
 class CellExecutionError(RuntimeError):
     """Raised after a streaming batch drains with at least one failed cell.
 
@@ -501,6 +552,13 @@ class Progress:
     hits: int = 0
     misses: int = 0
     failed: int = 0
+    #: Charged retry attempts so far.  A retried cell stays ONE miss —
+    #: ``misses`` counts cells whose result had to be computed, not how
+    #: many tries the infrastructure needed to compute it.
+    retries: int = 0
+    #: Cells whose attempt ran past the per-cell deadline (each such
+    #: attempt also charges one retry, until the budget runs out).
+    timeouts: int = 0
     _started: float = field(default_factory=time.perf_counter, repr=False)
 
     @property
@@ -540,6 +598,10 @@ class ProgressRenderer:
         label = f"{progress.label}: " if progress.label else ""
         line = (f"{label}{progress.done}/{progress.total} cells | "
                 f"{progress.hits} hits | {progress.misses} misses")
+        if progress.retries:
+            line += f" | {progress.retries} retries"
+        if progress.timeouts:
+            line += f" | {progress.timeouts} timeouts"
         if progress.failed:
             line += f" | {progress.failed} FAILED"
         return line + f" | {progress.rate:.1f} cells/s"
@@ -611,6 +673,15 @@ class ExecutorStats:
     sim_cycles: int = 0
     sim_events_processed: int = 0
     sim_cycles_skipped: int = 0
+    #: Resilience counters: charged retry attempts, deadline-exceeded
+    #: attempts, cache entries quarantined on integrity failure and
+    #: entries evicted by the size bound.  ``cache_misses`` stays one per
+    #: cell however many attempts its result took (retry accounting never
+    #: inflates the hit-rate denominators the acceptance greps key on).
+    retries: int = 0
+    timeouts: int = 0
+    cache_quarantined: int = 0
+    cache_evicted: int = 0
 
     def summary(self) -> str:
         text = (f"engine: {self.cells_requested} cells requested, "
@@ -620,6 +691,15 @@ class ExecutorStats:
                 f"{self.compiles} kernel compiles, "
                 f"{self.trace_hits} trace hits, "
                 f"{self.trace_misses} trace misses")
+        if (self.retries or self.timeouts or self.cache_quarantined
+                or self.cache_evicted):
+            # On its own line, only when something resilience-related
+            # actually happened: the first line's wording is an interface
+            # (CI greps it) and a fault-free run's output must not change.
+            text += (f"\nresilience: {self.retries} retries, "
+                     f"{self.timeouts} timeouts, "
+                     f"{self.cache_quarantined} quarantined cache entries, "
+                     f"{self.cache_evicted} evicted")
         if self.cells_failed:
             text += f"\nfailures: {self.cells_failed} cells failed"
         if self.sim_cycles:
@@ -655,18 +735,43 @@ class CellExecutor:
     misses consult it before compiling, fresh compiles are written back,
     and parallel batches ship :class:`TraceRef` pointers to the workers
     instead of pickled programs.
+
+    Resilience knobs: ``deadline_s`` arms a per-cell deadline — in pool
+    mode a watchdog that kills the pool under a cell observed RUNNING for
+    longer than the deadline (finished futures are drained first, and
+    collateral in-flight cells are resubmitted with their attempt counts
+    intact), inline a ``SIGALRM`` timer.  ``retries`` bounds how many
+    *charged* failures a cell may accumulate before it becomes a
+    :class:`CellError`; only infrastructure faults (:data:`_RETRYABLE`)
+    charge the budget — deterministic cell exceptions fail fast on the
+    first attempt.  Each charged retry backs off exponentially
+    (``backoff_s * 2**(attempt-1)``) plus a deterministic per-cell jitter
+    in ``[0, backoff_s)``, so a wave of retries against a shared cache
+    never stampedes in lockstep.
     """
 
     def __init__(self, jobs: int = 1,
                  cache: Optional[ResultCache] = None,
                  traces: Optional[TraceStore] = None,
-                 progress: Optional[ProgressCallback] = None) -> None:
+                 progress: Optional[ProgressCallback] = None,
+                 deadline_s: Optional[float] = None,
+                 retries: int = 3,
+                 backoff_s: float = 0.25) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
         self.jobs = jobs
         self.cache = cache
         self.traces = traces
         self.progress = progress
+        self.deadline_s = deadline_s
+        self.retries = retries
+        self.backoff_s = backoff_s
         self.stats = ExecutorStats()
         self._pool: Optional[ProcessPoolExecutor] = None
         # Compilation memo for *named* cells: the registry instantiates a
@@ -682,7 +787,8 @@ class CellExecutor:
     # -- worker-pool lifecycle -------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs,
+                                             initializer=_pool_worker_init)
         return self._pool
 
     def _discard_pool(self) -> None:
@@ -691,6 +797,26 @@ class CellExecutor:
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+
+    def _kill_pool(self) -> None:
+        """Kill the pool's worker processes, then discard it.
+
+        The watchdog's hammer: a future that is already RUNNING cannot be
+        cancelled, and ``shutdown(wait=False)`` would still leave the
+        interpreter joining a hung worker at exit — so the workers are
+        killed outright (the hung cell with them) before the teardown.
+        Reaches into ``ProcessPoolExecutor._processes``; a stdlib that
+        renamed it degrades to a plain discard, never an error.
+        """
+        pool = self._pool
+        if pool is None:
+            return
+        for proc in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                proc.kill()
+            except Exception:  # noqa: BLE001 — already dead is fine
+                pass
+        self._discard_pool()
 
     def close(self) -> None:
         """Shut the persistent worker pool down (idempotent; the executor
@@ -831,16 +957,11 @@ class CellExecutor:
                                           key=entry[1])
                 jobs_list.append((cells[i], source))
             if self.jobs == 1 or len(jobs_list) == 1:
-                for pos, job in enumerate(jobs_list):
-                    try:
-                        payload = _execute_cell(job)
-                    except Exception as exc:  # noqa: BLE001 — isolated per cell
-                        fail(pos, exc)
-                    else:
-                        land(pos, payload)
+                self._run_inline(jobs_list, land, fail, progress)
             else:
-                self._stream(jobs_list, land, fail)
+                self._stream(jobs_list, land, fail, progress)
 
+        self._sync_store_counters()
         if failures and errors == "raise":
             raise CellExecutionError(
                 failures, completed=len(cells) - progress.failed,
@@ -861,6 +982,26 @@ class CellExecutor:
     def _emit(self, progress: Progress) -> None:
         if self.progress is not None:
             self.progress(progress)
+
+    def _sync_store_counters(self) -> None:
+        """Mirror the stores' quarantine/eviction counters into the
+        executor's stats, so ``--cache-stats`` reports them."""
+        quarantined = evicted = 0
+        for store in (self.cache, self.traces):
+            if store is not None:
+                quarantined += store.quarantined
+                evicted += store.evicted
+        self.stats.cache_quarantined = quarantined
+        self.stats.cache_evicted = evicted
+
+    def _backoff_delay(self, label: str, pos: int, attempt: int) -> float:
+        """Exponential backoff plus deterministic per-(cell, attempt)
+        jitter — concurrent retries de-synchronise without consulting a
+        global RNG, so runs stay reproducible."""
+        base = self.backoff_s * (2 ** (attempt - 1))
+        jitter = random.Random(f"{label}:{pos}:{attempt}").uniform(
+            0.0, self.backoff_s)
+        return base + jitter
 
     @staticmethod
     def _memo_key(cell: Cell) -> Tuple[Union[str, Workload],
@@ -981,38 +1122,226 @@ class CellExecutor:
 
         return [outcome_for(cell) for cell in cells]
 
-    def _stream(self, jobs_list: List[Tuple[Cell, Union[Program, TraceRef]]],
-                land: Callable[[int, dict], None],
-                fail: Callable[[int, BaseException], None]) -> None:
-        """Submit every job, finalise each as it completes.
+    def _execute_deadlined(self, job: Tuple[Cell, Union[Program, TraceRef],
+                                            int]) -> dict:
+        """Inline execution under the per-cell deadline (``SIGALRM``).
 
-        A worker that dies (OOM killer, segfault) breaks the whole pool:
-        its cell and everything still queued land in ``fail`` with
-        :class:`~concurrent.futures.BrokenExecutor`, the dead pool is
-        discarded so the executor stays usable, and everything that
-        completed before the death was already cached by ``land``.
+        The alarm only exists on the main thread of a POSIX process;
+        anywhere else the deadline degrades to unenforced — inline cells
+        are the executor's own computation, and there is no second thread
+        to cut them short from.
         """
-        pool = self._ensure_pool()
-        futures = {pool.submit(_execute_cell, job): pos
-                   for pos, job in enumerate(jobs_list)}
-        broken = False
+        deadline = self.deadline_s
+        if (deadline is None or not hasattr(signal, "SIGALRM")
+                or threading.current_thread() is not threading.main_thread()):
+            return _execute_cell(job)
+        cell, attempt = job[0], job[2]
+
+        def on_alarm(signum: int, frame: object) -> None:
+            raise CellDeadlineExceeded(
+                f"cell {cell.label()} exceeded its {deadline:.3g}s deadline "
+                f"(attempt {attempt})")
+
+        previous = signal.signal(signal.SIGALRM, on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, deadline)
         try:
-            for future in as_completed(futures):
-                pos = futures[future]
+            return _execute_cell(job)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+    def _run_inline(self,
+                    jobs_list: List[Tuple[Cell, Union[Program, TraceRef]]],
+                    land: Callable[[int, dict], None],
+                    fail: Callable[[int, BaseException], None],
+                    progress: Progress) -> None:
+        """Execute the batch in-process, with the same retry budget and
+        deadline the pool path enforces."""
+        for pos, (cell, source) in enumerate(jobs_list):
+            attempt = 0
+            while True:
                 try:
-                    payload = future.result()
+                    payload = self._execute_deadlined((cell, source, attempt))
                 except Exception as exc:  # noqa: BLE001 — isolated per cell
-                    broken = broken or isinstance(exc, BrokenExecutor)
+                    if isinstance(exc, CellDeadlineExceeded):
+                        self.stats.timeouts += 1
+                        progress.timeouts += 1
+                    if isinstance(exc, _RETRYABLE) and attempt < self.retries:
+                        attempt += 1
+                        self.stats.retries += 1
+                        progress.retries += 1
+                        self._emit(progress)
+                        time.sleep(self._backoff_delay(cell.label(), pos,
+                                                       attempt))
+                        continue
                     fail(pos, exc)
                 else:
                     land(pos, payload)
+                break
+
+    def _stream(self, jobs_list: List[Tuple[Cell, Union[Program, TraceRef]]],
+                land: Callable[[int, dict], None],
+                fail: Callable[[int, BaseException], None],
+                progress: Progress) -> None:
+        """Submit every job, finalise each as it completes — and survive
+        the infrastructure dying under the batch.
+
+        Three failure channels feed the shared retry budget
+        (``attempts[pos]`` counts *charged* failures per position; a cell
+        fails for real only once it exceeds ``self.retries``):
+
+        * a **retryable worker exception** (transient I/O, an injected
+          fault) charges that cell and resubmits it after backoff;
+        * a **broken pool** (OOM-killed / segfaulted worker) fails every
+          in-flight future at once with no way to identify the culprit —
+          futures that finished before the break are drained and cached
+          first, then every victim is charged one attempt and resubmitted
+          to a fresh pool;
+        * a **deadline expiry** — the watchdog tracks when each future is
+          first observed RUNNING and, once one overstays ``deadline_s``,
+          kills the pool (a running future cannot be cancelled).  Only the
+          overdue cells are charged (and counted as timeouts); collateral
+          in-flight cells are resubmitted *uncharged*, attempt counts
+          preserved — they did nothing wrong.
+
+        Deterministic cell exceptions bypass the budget and fail fast.
+        Everything that completed before an interruption was already
+        cached by ``land``, so Ctrl-C keeps its resume-by-rerun contract.
+        """
+        attempts = [0] * len(jobs_list)
+        inflight: Dict[Future, int] = {}
+        first_running: Dict[Future, float] = {}
+        #: Positions waiting out a backoff (or a pool respawn):
+        #: (monotonic resubmit time, position).
+        delayed: List[Tuple[float, int]] = []
+
+        def submit(pos: int) -> None:
+            cell, source = jobs_list[pos]
+            job = (cell, source, attempts[pos])
+            try:
+                future = self._ensure_pool().submit(_execute_cell, job)
+            except BrokenExecutor as exc:
+                # The pool broke since the last drain (another worker
+                # death): handle the wave right here — drain and charge
+                # the stranded futures — so the replacement pool never
+                # shares the in-flight map with a dead one.
+                self._discard_pool()
+                reclaim(exc, set(inflight.values()))
+                future = self._ensure_pool().submit(_execute_cell, job)
+            inflight[future] = pos
+
+        def charge(pos: int, exc: BaseException) -> None:
+            attempts[pos] += 1
+            if attempts[pos] > self.retries:
+                fail(pos, exc)
+                return
+            self.stats.retries += 1
+            progress.retries += 1
+            self._emit(progress)
+            delay = self._backoff_delay(jobs_list[pos][0].label(), pos,
+                                        attempts[pos])
+            delayed.append((time.monotonic() + delay, pos))
+
+        def reclaim(exc: BaseException, charged: Set[int]) -> None:
+            """The pool just died: drain every future that actually
+            finished (their results are real and must be cached), charge
+            the positions in ``charged``, resubmit the rest uncharged."""
+            for future, pos in list(inflight.items()):
+                del inflight[future]
+                first_running.pop(future, None)
+                payload = None
+                if future.done() and not future.cancelled():
+                    try:
+                        payload = future.result()
+                    except BaseException:  # noqa: BLE001 — died with the pool
+                        payload = None
+                if payload is not None:
+                    land(pos, payload)
+                elif pos in charged:
+                    if isinstance(exc, CellDeadlineExceeded):
+                        self.stats.timeouts += 1
+                        progress.timeouts += 1
+                    charge(pos, exc)
+                else:
+                    delayed.append((time.monotonic(), pos))
+
+        try:
+            for pos in range(len(jobs_list)):
+                submit(pos)
+            while inflight or delayed:
+                now = time.monotonic()
+                if delayed:
+                    due = [pos for when, pos in delayed if when <= now]
+                    delayed = [(when, pos) for when, pos in delayed
+                               if when > now]
+                    for pos in due:
+                        submit(pos)
+                if not inflight:
+                    next_due = min(when for when, _ in delayed)
+                    time.sleep(max(0.0, next_due - time.monotonic()))
+                    continue
+                timeout: Optional[float] = None
+                if delayed:
+                    timeout = max(0.0, min(when for when, _ in delayed) - now)
+                if self.deadline_s is not None:
+                    # Poll fast enough to observe futures entering RUNNING
+                    # and to fire the watchdog promptly.
+                    poll = min(0.05, self.deadline_s / 4)
+                    timeout = poll if timeout is None else min(timeout, poll)
+                done, _ = wait(list(inflight), timeout=timeout,
+                               return_when=FIRST_COMPLETED)
+                broken: Optional[BaseException] = None
+                broken_pos: Set[int] = set()
+                for future in done:
+                    pos = inflight.pop(future)
+                    first_running.pop(future, None)
+                    try:
+                        payload = future.result()
+                    except BrokenExecutor as exc:
+                        # One raised it, but the whole wave is dead —
+                        # handled together below so finished futures
+                        # drain before anything is charged.
+                        broken = exc
+                        broken_pos.add(pos)
+                    except Exception as exc:  # noqa: BLE001 — per cell
+                        if isinstance(exc, _RETRYABLE):
+                            charge(pos, exc)
+                        else:
+                            fail(pos, exc)
+                    else:
+                        land(pos, payload)
+                if broken is not None:
+                    self._discard_pool()
+                    # No way to tell which cell killed the worker: every
+                    # victim is charged one attempt.  A deterministic
+                    # crasher exhausts its budget within `retries` waves;
+                    # innocents ride along well inside theirs.
+                    reclaim(broken, set(inflight.values()) | broken_pos)
+                    for pos in broken_pos:
+                        charge(pos, broken)
+                    first_running.clear()
+                    continue
+                if self.deadline_s is not None and inflight:
+                    now = time.monotonic()
+                    for future in inflight:
+                        if future not in first_running and future.running():
+                            first_running[future] = now
+                    overdue = {inflight[future]
+                               for future, seen in first_running.items()
+                               if future in inflight
+                               and now - seen >= self.deadline_s}
+                    if overdue:
+                        exc_t = CellDeadlineExceeded(
+                            f"cell exceeded its {self.deadline_s:.3g}s "
+                            f"deadline")
+                        self._kill_pool()
+                        reclaim(exc_t, overdue)
+                        first_running.clear()
         except BaseException:
             # Interrupted mid-drain (Ctrl-C, a raising progress callback):
             # abandon what is left — everything finalised so far is cached.
             self._discard_pool()
             raise
-        if broken:
-            self._discard_pool()
 
     @staticmethod
     def _materialise(cell: Cell, key: str, payload: dict,
@@ -1043,19 +1372,26 @@ def figure3_spec(workloads: Sequence[Union[str, Workload]],
 
 def make_executor(jobs: int = 1, cache: bool = False,
                   cache_dir: Union[str, Path] = DEFAULT_CACHE_DIR,
-                  progress: Optional[ProgressCallback] = None
+                  progress: Optional[ProgressCallback] = None,
+                  deadline_s: Optional[float] = None,
+                  retries: int = 3,
+                  backoff_s: float = 0.25,
+                  cache_max_bytes: Optional[int] = None
                   ) -> CellExecutor:
     """Build an executor from the CLI-style knobs (--jobs / --no-cache /
-    --cache-dir / --progress).
+    --cache-dir / --progress / --deadline / --retries / --cache-max-bytes).
 
     ``cache=True`` wires both persistent stores: cell results at
-    ``cache_dir`` and compiled traces under ``cache_dir/traces``.
-    ``--no-cache`` (``cache=False``) disables both — no disk is touched.
+    ``cache_dir`` (size-bounded when ``cache_max_bytes`` is set) and
+    compiled traces under ``cache_dir/traces``.  ``--no-cache``
+    (``cache=False``) disables both — no disk is touched.
     """
     from repro.compiler.store import TRACE_SUBDIR
     root = Path(cache_dir)
     return CellExecutor(jobs=jobs,
-                        cache=ResultCache(root) if cache else None,
+                        cache=(ResultCache(root, max_bytes=cache_max_bytes)
+                               if cache else None),
                         traces=TraceStore(root / TRACE_SUBDIR) if cache
                         else None,
-                        progress=progress)
+                        progress=progress, deadline_s=deadline_s,
+                        retries=retries, backoff_s=backoff_s)

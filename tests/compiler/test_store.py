@@ -129,16 +129,35 @@ def _warm_store_for(cell, root):
     return store, key
 
 
+def _wrapped(payload: dict) -> str:
+    """A properly checksummed store entry, as ``put`` would write it."""
+    import hashlib
+    body = json.dumps(payload)
+    return json.dumps({"sha256": hashlib.sha256(body.encode()).hexdigest(),
+                       "body": body})
+
+
+def _bitrot(path):
+    """Flip a body byte under the original checksum: the quarantine path."""
+    raw = path.read_text()
+    flipped = "0" if raw[-10] != "0" else "1"
+    path.write_text(raw[:-10] + flipped + raw[-9:])
+
+
 @pytest.mark.parametrize("damage", [
     lambda path: path.write_text("not json {"),
     lambda path: path.write_text(path.read_text()[:40]),  # truncated
-    lambda path: path.write_text(json.dumps(
+    _bitrot,
+    lambda path: path.write_text(_wrapped(
         {"schema": TRACE_SCHEMA - 1, "program": {}, "allocation": {}})),
-    lambda path: path.write_text(json.dumps({"schema": TRACE_SCHEMA,
-                                             "program": {"insts": [
-                                                 {"op": "vbogus", "vl": 1}]},
-                                             "allocation": {}})),
-], ids=["garbage", "truncated", "stale-schema", "mangled-program"])
+    lambda path: path.write_text(_wrapped({"schema": TRACE_SCHEMA,
+                                           "program": {"insts": [
+                                               {"op": "vbogus", "vl": 1}]},
+                                           "allocation": {}})),
+    lambda path: path.write_text(json.dumps(  # pre-checksum format
+        {"schema": TRACE_SCHEMA - 1, "program": {}, "allocation": {}})),
+], ids=["garbage", "truncated", "bitrot", "stale-schema", "mangled-program",
+        "legacy-unwrapped"])
 def test_damaged_entries_fall_back_to_a_clean_recompile(tmp_path, damage):
     cell = Cell(workload="axpy", config=native_config(1))
     store, key = _warm_store_for(cell, tmp_path / "traces")

@@ -1,0 +1,392 @@
+"""Chaos-hardened execution: every injected fault must degrade gracefully.
+
+Three layers under test, all driven through :mod:`repro.faults`:
+
+* the cache (`AtomicJsonStore`): checksummed entries, quarantine-on-read,
+  degraded in-memory operation when the directory is unwritable, LRU
+  eviction that never exceeds its bound nor races concurrent writers,
+  and a ``clear()`` that never deletes a just-committed entry;
+* the executor: bounded retry-with-backoff for infrastructure faults
+  (fail-fast for deterministic ones), per-cell deadlines inline and via
+  the pool watchdog, and retry accounting that keeps a retried cell at
+  ONE cache miss;
+* the ``repro chaos`` harness: clean / faulted / warm runs of the same
+  sweep must render byte-identical output with zero failed cells.
+"""
+
+import io
+import json
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import faults
+from repro.core.config import ava_config, native_config
+from repro.experiments.chaos import run_chaos
+from repro.experiments.engine import (Cell, CellExecutionError, CellExecutor,
+                                      CellResult, Progress, ResultCache)
+from repro.faults import (CACHE_CORRUPT, CACHE_ENOSPC, CACHE_READONLY,
+                          CELL_HANG, WORKER_CRASH, FaultPlan, FaultSpec)
+
+from tests.experiments.test_streaming import _grid_40, _small_axpy
+
+
+def _cell(config=None, n_elements: int = 256) -> Cell:
+    return Cell(workload=_small_axpy(n_elements),
+                config=config or native_config(1))
+
+
+# ---------------------------------------------------------------------------
+# cache integrity: checksums, quarantine, verify
+# ---------------------------------------------------------------------------
+def test_checksummed_entries_round_trip(tmp_path):
+    store = ResultCache(tmp_path)
+    payload = {"schema": 3, "stats": {"cycles": 7}, "energy": {"total": 1.0}}
+    store.put("k", payload)
+    assert store.get("k") == payload
+    wrapper = json.loads(store.path("k").read_text())
+    assert set(wrapper) == {"sha256", "body"}
+
+
+def test_bitrot_is_quarantined_and_reads_as_a_miss(tmp_path):
+    store = ResultCache(tmp_path)
+    payload = {"schema": 3, "stats": {"cycles": 7}, "energy": {"total": 1.0}}
+    store.put("k", payload)
+    raw = store.path("k").read_text()
+    rotten = raw.replace('cycles\\": 7', 'cycles\\": 9')  # body is escaped
+    assert rotten != raw
+    store.path("k").write_text(rotten)
+    assert store.get("k") is None
+    assert store.quarantined == 1
+    assert not store.path("k").exists()
+    assert (store.quarantine_dir() / "k.json").exists()
+
+
+def test_legacy_plain_payload_is_a_miss_but_not_quarantined(tmp_path):
+    store = ResultCache(tmp_path)
+    store.path("k").parent.mkdir(parents=True, exist_ok=True)
+    store.path("k").write_text(json.dumps({"schema": 3, "stats": {},
+                                           "energy": {}}))
+    assert store.get("k") is None
+    assert store.quarantined == 0
+    assert store.path("k").exists()  # stale, not corrupt: left in place
+
+
+def test_verify_classifies_the_whole_damage_taxonomy(tmp_path):
+    store = ResultCache(tmp_path)
+    ok = {"schema": 3, "stats": {}, "energy": {}}
+    store.put("good", ok)
+    store.put("rotten", ok)
+    raw = store.path("rotten").read_text()
+    store.path("rotten").write_text(raw[:-20] + raw[-18:])
+    store.path("legacy").write_text(json.dumps(ok))
+    store.put("stale", {"schema": -1, "stats": {}, "energy": {}})
+    counts = store.verify()
+    assert counts == {"entries": 4, "ok": 1, "quarantined": 1, "stale": 1,
+                      "legacy": 1}
+    assert (store.quarantine_dir() / "rotten.json").exists()
+
+
+# ---------------------------------------------------------------------------
+# degraded operation: unwritable cache directories
+# ---------------------------------------------------------------------------
+def test_readonly_cache_degrades_to_memory_with_one_warning(recwarn, tmp_path):
+    plan = FaultPlan(specs=[FaultSpec(kind=CACHE_READONLY, site="results",
+                                      times=99)])
+    store = ResultCache(tmp_path / "cache")
+    payload = {"schema": 3, "stats": {}, "energy": {}}
+    with faults.injected(plan):
+        store.put("a", payload)
+        store.put("b", payload)
+    warned = [w for w in recwarn.list if "unwritable" in str(w.message)]
+    assert len(warned) == 1  # warn once, not per write
+    assert store.get("a") == payload  # served from the in-memory overlay
+    assert store.get("b") == payload
+    assert not list((tmp_path / "cache").glob("*.json"))
+
+
+def test_enospc_mid_write_leaves_no_partial_entry(recwarn, tmp_path):
+    plan = FaultPlan(specs=[FaultSpec(kind=CACHE_ENOSPC, site="results",
+                                      ordinal=0)])
+    store = ResultCache(tmp_path / "cache")
+    payload = {"schema": 3, "stats": {}, "energy": {}}
+    with faults.injected(plan):
+        store.put("a", payload)  # hits ENOSPC mid-write
+        store.put("b", payload)  # the next write finds space again
+    assert len([w for w in recwarn.list
+                if "unwritable" in str(w.message)]) == 1
+    assert store.get("a") == payload  # overlay
+    assert store.get("b") == payload  # disk
+    on_disk = {p.name for p in (tmp_path / "cache").glob("*")}
+    assert on_disk == {"b.json"}  # no a.json and, crucially, no *.tmp
+
+
+def test_degraded_sweep_completes_with_correct_results(recwarn, tmp_path):
+    """A sweep against a read-only cache dir: every cell still simulates
+    and renders; the run is merely unpersisted."""
+    plan = FaultPlan(specs=[FaultSpec(kind=CACHE_READONLY, site="results",
+                                      times=99)])
+    cells = [_cell(native_config(1)), _cell(ava_config(8))]
+    executor = CellExecutor(cache=ResultCache(tmp_path / "cache"))
+    with faults.injected(plan):
+        results = executor.run(cells)
+    assert all(isinstance(r, CellResult) and r.stats.cycles > 0
+               for r in results)
+    assert executor.stats.cells_failed == 0
+    assert len([w for w in recwarn.list
+                if "unwritable" in str(w.message)]) == 1
+    # Within the same executor the overlay serves warm requests.
+    rerun = executor.run(cells)
+    assert executor.stats.cache_hits == 2
+    assert [r.stats.cycles for r in rerun] == [r.stats.cycles
+                                               for r in results]
+
+
+def test_corrupt_write_is_quarantined_then_resimulated(tmp_path):
+    """cache-corrupt -> verify-on-read quarantines -> the cell re-simulates
+    with identical output."""
+    plan = FaultPlan(specs=[FaultSpec(kind=CACHE_CORRUPT, site="results",
+                                      ordinal=0)])
+    cell = _cell()
+    first = CellExecutor(cache=ResultCache(tmp_path / "cache"))
+    with faults.injected(plan):
+        poisoned = first.run_one(cell)
+
+    second = CellExecutor(cache=ResultCache(tmp_path / "cache"))
+    replayed = second.run_one(cell)
+    assert second.stats.cache_hits == 0  # the corrupt entry was no hit
+    assert second.stats.cache_quarantined == 1
+    assert replayed.stats.cycles == poisoned.stats.cycles
+    quarantine = tmp_path / "cache" / "quarantine"
+    assert len(list(quarantine.glob("*.json"))) == 1
+
+    third = CellExecutor(cache=ResultCache(tmp_path / "cache"))
+    assert isinstance(third.run_one(cell), CellResult)
+    assert third.stats.cache_hits == 1  # the rewrite healed the store
+
+
+# ---------------------------------------------------------------------------
+# eviction: the size bound and its races
+# ---------------------------------------------------------------------------
+def _sized_payload(tag: str, n: int = 64) -> dict:
+    return {"schema": 3, "stats": {}, "energy": {}, "pad": tag * n}
+
+
+def test_eviction_never_exceeds_the_bound(tmp_path):
+    store = ResultCache(tmp_path, max_bytes=2048)
+    for i in range(12):
+        store.put(f"k{i:02d}", _sized_payload(f"{i:x}"))
+        _, size = store.stats()
+        assert size <= 2048
+    assert store.evicted > 0
+    assert store.get("k11") is not None  # the just-written key survives
+
+
+def test_eviction_is_least_recently_used(tmp_path):
+    import os
+    store = ResultCache(tmp_path, max_bytes=10**9)  # roomy while seeding
+    store.put("old", _sized_payload("a"))
+    store.put("hot", _sized_payload("b"))
+    # Age both well into the past, then touch `hot` by reading it.
+    past = time.time() - 1000
+    os.utime(store.path("old"), (past, past))
+    os.utime(store.path("hot"), (past + 1, past + 1))
+    before = store.path("hot").stat().st_mtime
+    assert store.get("hot") is not None
+    assert store.path("hot").stat().st_mtime > before  # reads refresh LRU
+    # Tighten the bound so the next (equal-sized) put must evict exactly
+    # one entry — the least recently *used*, which is now `old` even
+    # though `hot` is the older *write*.
+    _, size = store.stats()
+    store.max_bytes = size + 16
+    store.put("big", _sized_payload("c"))
+    assert store.evicted == 1
+    assert store.get("hot") is not None  # recently read: kept
+    assert store.get("big") is not None  # just written: protected
+    assert not store.path("old").exists()  # least recently used: gone
+
+
+def test_forty_cell_sweep_respects_cache_bound(tmp_path):
+    """The acceptance bound: across a 40-cell sweep with --cache-max-bytes,
+    the store never exceeds the bound at any observation point."""
+    bound = 8 * 1024
+    cache = ResultCache(tmp_path / "cache", max_bytes=bound)
+    high_water = []
+
+    def watermark(progress: Progress) -> None:
+        high_water.append(cache.stats()[1])
+
+    executor = CellExecutor(cache=cache, progress=watermark)
+    results = executor.run_spec(_grid_40())
+    assert len(results) == 40
+    assert executor.stats.cells_failed == 0
+    assert max(high_water) <= bound
+    assert cache.stats()[1] <= bound
+    assert executor.stats.cache_evicted > 0  # the bound actually bit
+
+
+def test_concurrent_eviction_loses_no_in_flight_writes(tmp_path):
+    """Two executors evicting against each other: every write either
+    survives intact or was evicted whole — nothing corrupts, nothing
+    crashes, and each store's own just-written entry is always readable
+    immediately after its put."""
+    root = tmp_path / "shared"
+    errors = []
+
+    def writer(tag: str) -> None:
+        try:
+            store = ResultCache(root, max_bytes=1500)
+            for i in range(40):
+                key = f"{tag}{i:02d}"
+                store.put(key, _sized_payload(tag))
+                got = store.get(key)
+                # The atomic-rename contract: a concurrent evictor may
+                # remove the entry later, but the commit itself is whole.
+                if got is not None and got != _sized_payload(tag):
+                    raise AssertionError(f"torn read for {key}: {got}")
+        except BaseException as exc:  # noqa: BLE001 — reported to the test
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(t,)) for t in "ab"]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    # Whatever survived is bit-perfect: verify() quarantines nothing.
+    counts = ResultCache(root).verify()
+    assert counts["quarantined"] == 0
+    assert counts["ok"] == counts["entries"]
+
+
+def test_clear_spares_entries_committed_after_it_started(tmp_path):
+    import os
+    store = ResultCache(tmp_path)
+    store.put("old", {"schema": 3, "stats": {}, "energy": {}})
+    store.put("fresh", {"schema": 3, "stats": {}, "energy": {}})
+    # A concurrent writer committing while clear() runs lands with a
+    # LATER mtime than the clear's start; model that with a future stamp.
+    future = time.time() + 30
+    os.utime(store.path("fresh"), (future, future))
+    removed = store.clear()
+    assert removed == 1
+    assert not store.path("old").exists()
+    assert store.path("fresh").exists()  # the just-committed entry lives
+
+
+# ---------------------------------------------------------------------------
+# retry budget: transient faults retry, deterministic failures fail fast
+# ---------------------------------------------------------------------------
+def test_transient_fault_retries_and_counts_one_miss(tmp_path):
+    cell = _cell()
+    plan = FaultPlan(specs=[FaultSpec(kind=WORKER_CRASH, attempt=0)])
+    snapshots = []
+    executor = CellExecutor(cache=ResultCache(tmp_path / "cache"),
+                            backoff_s=0.0,
+                            progress=lambda p: snapshots.append(
+                                (p.misses, p.retries)))
+    with faults.injected(plan):
+        result = executor.run_one(cell)
+    assert isinstance(result, CellResult)
+    assert executor.stats.retries == 1
+    assert executor.stats.cache_misses == 1  # ONE miss, not one per attempt
+    assert executor.stats.cells_failed == 0
+    assert snapshots[-1] == (1, 1)
+
+
+def test_deterministic_cell_errors_fail_fast(tmp_path):
+    from tests.experiments.test_streaming import RaisingAxpy, _arm
+    executor = CellExecutor(cache=ResultCache(tmp_path / "cache"),
+                            retries=3, backoff_s=0.0)
+    with pytest.raises(CellExecutionError):
+        executor.run_one(Cell(workload=_arm(RaisingAxpy(), armed=True),
+                              config=native_config(1)))
+    assert executor.stats.retries == 0  # no budget burned reproducing it
+
+
+def test_retry_budget_exhausts_into_a_cell_error():
+    plan = FaultPlan(specs=[FaultSpec(kind=WORKER_CRASH, attempt=None,
+                                      times=99)])
+    executor = CellExecutor(retries=2, backoff_s=0.0)
+    with faults.injected(plan):
+        errors = executor.run([_cell()], errors="return")
+    assert errors[0].error.startswith("TransientFaultError")
+    assert executor.stats.retries == 2  # the whole budget, then fail
+    assert executor.stats.cells_failed == 1
+
+
+# ---------------------------------------------------------------------------
+# deadlines: inline SIGALRM and the pool watchdog
+# ---------------------------------------------------------------------------
+def test_inline_deadline_interrupts_a_hang_and_the_retry_lands():
+    plan = FaultPlan(specs=[FaultSpec(kind=CELL_HANG, attempt=0,
+                                      delay_s=30.0)])
+    executor = CellExecutor(deadline_s=0.3, retries=1, backoff_s=0.0)
+    started = time.monotonic()
+    with faults.injected(plan):
+        result = executor.run_one(_cell())
+    assert time.monotonic() - started < 10  # the hang died at ~0.3s
+    assert isinstance(result, CellResult)
+    assert executor.stats.timeouts == 1
+    assert executor.stats.retries == 1
+
+
+def test_pool_watchdog_kills_a_hung_worker_and_retries(tmp_path):
+    cells = [_cell(config) for config in (native_config(1), ava_config(2),
+                                          ava_config(4), ava_config(8))]
+    hang_label = cells[0].label()
+    plan = FaultPlan(specs=[FaultSpec(kind=CELL_HANG, match=hang_label,
+                                      attempt=0, delay_s=30.0)])
+    executor = CellExecutor(jobs=2, cache=ResultCache(tmp_path / "cache"),
+                            deadline_s=1.0, retries=3, backoff_s=0.0)
+    started = time.monotonic()
+    with faults.injected(plan), executor:
+        results = executor.run(cells)
+    assert time.monotonic() - started < 30  # watchdog, not the 30s hang
+    assert all(isinstance(r, CellResult) for r in results)
+    assert executor.stats.timeouts >= 1
+    assert executor.stats.retries >= 1
+    assert executor.stats.cells_failed == 0
+    # Every cell's one miss was cached despite the carnage.
+    assert executor.stats.cache_misses == 4
+
+
+def test_broken_pool_respawn_preserves_attempt_counts(tmp_path):
+    """A cell that crashes its worker on attempts 0 AND 1 must terminate:
+    the respawned pool resubmits with the attempt count intact (were it
+    reset, the attempt-gated crash would fire forever)."""
+    cells = [_cell(native_config(1)), _cell(ava_config(8))]
+    crash_label = cells[0].label()
+    plan = FaultPlan(specs=[FaultSpec(kind=WORKER_CRASH, match=crash_label,
+                                      attempt=[0, 1], times=2)])
+    executor = CellExecutor(jobs=2, cache=ResultCache(tmp_path / "cache"),
+                            retries=3, backoff_s=0.0)
+    with faults.injected(plan), executor:
+        results = executor.run(cells)
+    assert all(isinstance(r, CellResult) for r in results)
+    # The crasher was charged exactly twice; the innocent bystander at
+    # most twice (once per wave it was in flight for) — and the budget
+    # of 3 was never exceeded, proving attempts survived the respawns.
+    assert 2 <= executor.stats.retries <= 4
+    assert executor.stats.cells_failed == 0
+    assert executor.stats.cache_misses == 2  # still one miss per cell
+
+
+# ---------------------------------------------------------------------------
+# the chaos harness end to end
+# ---------------------------------------------------------------------------
+def test_chaos_triple_run_is_byte_identical(tmp_path):
+    spec = {"name": "chaos-test", "workloads": ["axpy"],
+            "machines": ["native-x1", "ava-x8"]}
+    out = io.StringIO()
+    code = run_chaos(spec, seed=2, jobs=2, cache_dir=tmp_path / "cache",
+                     deadline_s=1.0, backoff_s=0.0, out=out)
+    text = out.getvalue()
+    assert code == 0, text
+    assert "byte-identical stdout across clean/faulted/warm runs" in text
+    assert "; 0 failed cells;" in text
+    # The faulted cache quarantined its corrupted entry on the warm pass.
+    quarantine = Path(tmp_path / "cache") / "chaos" / "faulted" / "quarantine"
+    assert len(list(quarantine.glob("*.json"))) == 1

@@ -1,0 +1,59 @@
+"""Property-based chaos: no seeded fault plan may change figure 3's bytes.
+
+The chaos harness's core claim — injected infrastructure faults are
+*invisible* in rendered output — must hold for every seed, not just the
+hand-picked ones in the unit tests.  Hypothesis drives random seeds
+through :func:`repro.faults.seeded_plan` over the figure-3 axpy grid and
+asserts the faulted render is byte-identical to a clean reference, that
+no cell fails, and that the retry budget bounds the damage (the run
+terminates with at most ``retries`` charges per cell).
+
+The hang fault is scaled down to milliseconds (``hang_s=0.05``) so the
+property stays fast: the *watchdog* path has dedicated unit tests; here
+the hang only needs to perturb scheduling, not trip the deadline.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import faults
+from repro.experiments.engine import CellExecutor, ResultCache
+from repro.experiments.figure3 import build_panels, figure3_spec
+
+_REFERENCE = {}
+
+
+def _render_axpy_panel(executor: CellExecutor) -> str:
+    return build_panels(["axpy"], executor=executor)["axpy"].render()
+
+
+def _clean_reference() -> str:
+    if "text" not in _REFERENCE:
+        _REFERENCE["text"] = _render_axpy_panel(CellExecutor())
+    return _REFERENCE["text"]
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=5, deadline=None)
+def test_seeded_fault_plans_never_change_figure3_bytes(seed, tmp_path_factory):
+    clean = _clean_reference()
+    spec = figure3_spec(["axpy"])
+    labels = [cell.label() for cell in spec.cells()]
+    plan = faults.seeded_plan(seed, labels, hang_s=0.05, slow_s=0.01)
+
+    cache = ResultCache(tmp_path_factory.mktemp("chaos-prop"))
+    executor = CellExecutor(cache=cache, deadline_s=5.0, retries=3,
+                            backoff_s=0.0)
+    with faults.injected(plan):
+        faulted = _render_axpy_panel(executor)
+
+    assert faulted == clean  # byte-identical despite the plan
+    assert executor.stats.cells_failed == 0
+    # Termination within budget: every cell got at most `retries` charges.
+    assert executor.stats.retries <= 3 * len(labels)
+    assert executor.stats.cache_misses == len(labels)  # one miss per cell
+
+    # The warm replay over the scarred cache also matches: any corrupted
+    # entry was quarantined into a re-simulation, not replayed as truth.
+    warm = CellExecutor(cache=ResultCache(cache.root))
+    assert _render_axpy_panel(warm) == clean
+    assert warm.stats.cells_failed == 0

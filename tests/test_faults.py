@@ -1,0 +1,146 @@
+"""The fault-injection subsystem itself: plans must be deterministic,
+serializable, and precisely gated — a chaos harness that misfires proves
+nothing about the stack it attacks."""
+
+import json
+import os
+
+import pytest
+
+from repro import faults
+from repro.faults import (CACHE_CORRUPT, CACHE_ENOSPC, CELL_HANG, SLOW_CELL,
+                          WORKER_CRASH, FAULT_PLAN_ENV, FaultPlan, FaultSpec,
+                          TransientFaultError, seeded_plan)
+
+
+# ---------------------------------------------------------------------------
+# specs: validation and gating
+# ---------------------------------------------------------------------------
+def test_unknown_kind_is_rejected_eagerly():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSpec(kind="meteor-strike")
+
+
+@pytest.mark.parametrize("attempt,fires", [
+    (0, [True, False, False]),
+    (1, [False, True, False]),
+    ([0, 2], [True, False, True]),
+    (None, [True, True, True]),
+])
+def test_attempt_gates(attempt, fires):
+    spec = FaultSpec(kind=WORKER_CRASH, attempt=attempt)
+    assert [spec.matches_attempt(i) for i in range(3)] == fires
+
+
+def test_cell_fault_fires_once_and_respects_label_match():
+    plan = FaultPlan(specs=[FaultSpec(kind=WORKER_CRASH, match="axpy",
+                                      attempt=0)])
+    # Non-matching label: nothing fires.
+    plan.fire_cell("somier@AVA X8", 0, in_worker=False)
+    # Matching label inline: raises instead of killing the process...
+    with pytest.raises(TransientFaultError):
+        plan.fire_cell("axpy@AVA X8", 0, in_worker=False)
+    # ...and `times=1` means it never fires again in this process.
+    plan.fire_cell("axpy@AVA X8", 0, in_worker=False)
+
+
+def test_cell_fault_respects_attempt_gate():
+    plan = FaultPlan(specs=[FaultSpec(kind=WORKER_CRASH, attempt=0)])
+    plan.fire_cell("axpy@AVA X8", 1, in_worker=False)  # retry: clean
+    with pytest.raises(TransientFaultError):
+        plan.fire_cell("axpy@AVA X8", 0, in_worker=False)
+
+
+def test_slow_cell_delays_without_raising():
+    plan = FaultPlan(specs=[FaultSpec(kind=SLOW_CELL, delay_s=0.0)])
+    plan.fire_cell("axpy@AVA X8", 0, in_worker=False)  # returns normally
+
+
+def test_cache_fault_counts_matching_writes_by_ordinal():
+    plan = FaultPlan(specs=[FaultSpec(kind=CACHE_CORRUPT, site="results",
+                                      ordinal=2)])
+    # Writes to other sites never advance the ordinal.
+    assert plan.cache_fault("traces", "k0") is None
+    assert plan.cache_fault("results", "k0") is None  # ordinal 0
+    assert plan.cache_fault("results", "k1") is None  # ordinal 1
+    assert plan.cache_fault("results", "k2") == CACHE_CORRUPT
+    assert plan.cache_fault("results", "k3") is None  # times=1: spent
+
+
+def test_first_matching_cache_spec_wins():
+    plan = FaultPlan(specs=[
+        FaultSpec(kind=CACHE_ENOSPC, site="results", ordinal=0),
+        FaultSpec(kind=CACHE_CORRUPT, site="results", ordinal=0),
+    ])
+    # Both match write 0; one fault per write, the first spec claims it —
+    # but both ordinals advanced, so the corrupt spec is spent too.
+    assert plan.cache_fault("results", "k0") == CACHE_ENOSPC
+    assert plan.cache_fault("results", "k1") is None
+
+
+# ---------------------------------------------------------------------------
+# serialization: JSON and the worker-propagation env var
+# ---------------------------------------------------------------------------
+def test_plan_round_trips_through_json():
+    plan = seeded_plan(11, ["a@X", "b@Y", "c@Z"])
+    clone = FaultPlan.from_json(plan.to_json())
+    assert clone.to_dict() == plan.to_dict()
+    assert clone.seed == 11
+    assert clone.describe() == plan.describe()
+
+
+def test_seeded_plans_are_deterministic_and_seed_sensitive():
+    labels = [f"w{i}@cfg" for i in range(6)]
+    assert (seeded_plan(3, labels).to_json()
+            == seeded_plan(3, labels).to_json())
+    assert (seeded_plan(3, labels).to_json()
+            != seeded_plan(4, labels).to_json())
+
+
+def test_seeded_plan_always_arms_the_full_mix():
+    plan = seeded_plan(0, ["only@one"])
+    kinds = [spec.kind for spec in plan.specs]
+    assert kinds.count(WORKER_CRASH) == 1
+    assert kinds.count(CELL_HANG) == 1
+    assert kinds.count(SLOW_CELL) == 1
+    assert kinds.count(CACHE_CORRUPT) == 1
+    assert kinds.count(CACHE_ENOSPC) == 1
+    corrupt, enospc = [spec.ordinal for spec in plan.specs
+                       if spec.kind in (CACHE_CORRUPT, CACHE_ENOSPC)]
+    assert corrupt != enospc  # distinct writes: both faults always land
+
+
+def test_seeded_plan_rejects_an_empty_grid():
+    with pytest.raises(ValueError, match="at least one cell label"):
+        seeded_plan(0, [])
+
+
+# ---------------------------------------------------------------------------
+# activation: install/uninstall and the environment channel
+# ---------------------------------------------------------------------------
+def test_injected_context_installs_and_always_uninstalls():
+    plan = FaultPlan(specs=[FaultSpec(kind=CACHE_ENOSPC, site="results")])
+    assert faults.active_plan() is None
+    with faults.injected(plan) as active:
+        assert active is plan
+        assert faults.active_plan() is plan
+        assert FAULT_PLAN_ENV in os.environ
+    assert faults.active_plan() is None
+    assert FAULT_PLAN_ENV not in os.environ
+
+
+def test_env_var_plan_is_parsed_for_spawned_workers(monkeypatch):
+    plan = seeded_plan(5, ["axpy@AVA X8"])
+    monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+    parsed = faults.active_plan()
+    assert parsed is not None
+    assert parsed.to_dict() == plan.to_dict()
+    # Memoized per value: the same blob parses once.
+    assert faults.active_plan() is parsed
+
+
+def test_malformed_env_plan_is_ignored(monkeypatch):
+    monkeypatch.setenv(FAULT_PLAN_ENV, "{not json")
+    assert faults.active_plan() is None
+    monkeypatch.setenv(FAULT_PLAN_ENV, json.dumps({"specs": 7}))
+    assert faults.active_plan() is None
