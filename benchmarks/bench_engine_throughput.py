@@ -14,7 +14,6 @@ non-zero when throughput regressed more than 20% versus the committed
 baseline in ``benchmarks/BENCH_engine.json`` — the CI ``bench-smoke`` job.
 """
 
-import os
 import sys
 import time
 from pathlib import Path
@@ -24,7 +23,7 @@ from _common import publish
 from repro.core.config import ava_config, native_config
 from repro.experiments.bench import run_bench_engine
 from repro.experiments.engine import (CellExecutor, ResultCache, SweepSpec,
-                                      make_executor)
+                                      default_jobs, make_executor)
 from repro.experiments.rendering import render_table
 
 #: A small but non-trivial grid: 2 workloads x 4 configs = 8 cells.
@@ -41,7 +40,8 @@ def _timed(executor: CellExecutor):
 
 
 def test_engine_throughput(benchmark, tmp_path):
-    jobs = min(4, os.cpu_count() or 1)
+    # Affinity-aware: raw os.cpu_count() oversubscribes containerized CI.
+    jobs = min(4, default_jobs())
     cache_dir = tmp_path / "cache"
 
     serial, t_serial = _timed(CellExecutor())

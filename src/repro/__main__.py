@@ -20,6 +20,9 @@ Artifacts:
   seeded fault plan with worker kills / hangs / cache corruption, then
   warm over the scarred cache) and assert all three render byte-identical
   output with zero failed cells (``--seed`` picks the plan);
+* ``merge <stats.json>...`` — combine per-shard ``--stats-json`` counter
+  files (associative field-wise sums) into one batch summary, the
+  ``merge-counters`` step of a sharded sweep;
 * ``cache stats`` / ``cache clear [--traces|--results]`` /
   ``cache verify`` — inspect, prune or integrity-check the two
   persistent stores (cell results at ``--cache-dir``, compiled traces
@@ -30,7 +33,17 @@ Simulation-backed artifacts (``figure3``, ``figure4``, ``claims``) run
 through the experiment-execution engine:
 
 * ``--jobs N`` streams independent cells over N worker processes
-  (output is byte-identical to a serial run);
+  (output is byte-identical to a serial run); ``--jobs auto`` — the
+  default — resolves to the CPUs this process may actually use
+  (affinity-aware, so containerized CI never oversubscribes);
+* ``--backend {auto,inline,pool,shard}`` picks the execution backend
+  explicitly (``auto`` keeps the jobs contract: inline at 1, a pool
+  above; ``shard`` partitions the grid into ``--shards N`` deterministic
+  shards run sequentially) — stdout is byte-identical across backends;
+* ``sweep --shards N --shard-index K`` runs only shard K of the grid
+  (for fanning one sweep out over CI matrix jobs or separate hosts
+  against a shared/synced cache dir); ``--stats-json FILE`` writes the
+  run's engine counters for a later ``repro merge``;
 * results persist in a content-addressed cache (``--cache-dir``,
   default ``.repro-cache``) so re-rendering any artifact — or another
   artifact sharing cells — is near-instant; ``--no-cache`` disables it.
@@ -54,7 +67,7 @@ import argparse
 import sys
 
 from repro.experiments.engine import (DEFAULT_CACHE_DIR, ProgressRenderer,
-                                      make_executor)
+                                      default_jobs, make_executor)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -68,7 +81,7 @@ def main(argv: list[str] | None = None) -> int:
                         choices=["table1", "table2", "table3", "table4",
                                  "table5", "figure3", "figure4", "figure5",
                                  "claims", "bench", "sweep", "sensitivity",
-                                 "chaos", "cache"])
+                                 "chaos", "cache", "merge"])
     parser.add_argument("workload", nargs="?", default=None,
                         help="application for figure3 (a registered name, "
                              "'all' for Table IV, 'extended' for the "
@@ -76,7 +89,10 @@ def main(argv: list[str] | None = None) -> int:
                              "name for bench ('engine'); spec file path "
                              "for sweep and chaos; action for cache "
                              "('stats', 'clear' or 'verify'; default: "
-                             "stats)")
+                             "stats); first stats file for merge")
+    parser.add_argument("files", nargs="*", default=[], metavar="FILE",
+                        help="merge: further per-shard stats files "
+                             "(written by --stats-json)")
     parser.add_argument("--traces", action="store_true",
                         help="cache clear: prune only the trace store")
     parser.add_argument("--results", action="store_true",
@@ -94,9 +110,30 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="FILE",
                         help="where 'bench engine' writes its JSON record "
                              "(default: BENCH_engine.json)")
-    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
-                        help="worker processes for simulation cells "
-                             "(default: 1, inline)")
+    parser.add_argument("--jobs", "-j", default="auto", metavar="N",
+                        help="worker processes for simulation cells: a "
+                             "count, or 'auto' for the CPUs this process "
+                             "may use (affinity-aware; the default)")
+    parser.add_argument("--backend",
+                        choices=["auto", "inline", "pool", "shard"],
+                        default="auto",
+                        help="execution backend (default: auto — inline "
+                             "at --jobs 1, a process pool above; 'shard' "
+                             "partitions the grid into --shards "
+                             "deterministic shards); stdout is "
+                             "byte-identical across backends")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="shard count for --backend shard (default: 4) "
+                             "or for --shard-index")
+    parser.add_argument("--shard-index", type=int, default=None,
+                        metavar="K",
+                        help="sweep: run only shard K (0-based) of the "
+                             "--shards N partition — for fanning one "
+                             "sweep over several hosts/CI jobs against a "
+                             "shared cache dir")
+    parser.add_argument("--stats-json", default=None, metavar="FILE",
+                        help="write the run's engine counters to FILE "
+                             "(JSON) for a later 'repro merge'")
     parser.add_argument("--no-cache", action="store_true",
                         help="do not read or write the result cache")
     parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
@@ -131,8 +168,36 @@ def main(argv: list[str] | None = None) -> int:
                         action="store_false",
                         help="disable the live progress line")
     args = parser.parse_args(argv)
-    if args.jobs < 1:
-        parser.error("--jobs must be >= 1")
+    if args.jobs == "auto":
+        args.jobs = default_jobs()
+    else:
+        try:
+            args.jobs = int(args.jobs)
+        except ValueError:
+            parser.error(f"--jobs takes a count or 'auto', "
+                         f"got {args.jobs!r}")
+        if args.jobs < 1:
+            parser.error("--jobs must be >= 1")
+    if args.files and args.artifact != "merge":
+        parser.error("extra positional arguments apply only to merge")
+    if args.shard_index is not None:
+        if args.artifact != "sweep":
+            parser.error("--shard-index applies only to sweep")
+        if args.backend == "shard":
+            parser.error("--shard-index runs one shard through a normal "
+                         "backend; it does not combine with "
+                         "--backend shard")
+        if args.shards is None:
+            parser.error("--shard-index requires --shards N")
+        if not 0 <= args.shard_index < args.shards:
+            parser.error(f"--shard-index must be in [0, {args.shards})")
+    if args.shards is not None:
+        if args.shards < 1:
+            parser.error("--shards must be >= 1")
+        if args.backend != "shard" and args.shard_index is None:
+            parser.error("--shards needs --backend shard or --shard-index")
+    elif args.backend == "shard":
+        args.shards = 4
 
     show_progress = (args.progress if args.progress is not None
                      else sys.stderr.isatty())
@@ -146,10 +211,23 @@ def main(argv: list[str] | None = None) -> int:
 
 def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace,
               renderer: ProgressRenderer | None) -> int:
+    if args.artifact == "merge":
+        from repro.experiments.shard import render_merge
+        paths = ([args.workload] if args.workload else []) + args.files
+        if not paths:
+            parser.error("merge needs at least one stats file: repro "
+                         "merge shard-0.json shard-1.json ...")
+        try:
+            print(render_merge(paths))
+        except ValueError as exc:
+            parser.error(str(exc))
+        return 0
     if args.artifact == "cache":
         return _cache_command(parser, args)
     if args.traces or args.results:
         parser.error("--traces/--results apply only to 'cache clear'")
+    if args.artifact in ("bench", "chaos") and args.stats_json:
+        parser.error(f"--stats-json does not apply to {args.artifact}")
     if args.artifact == "chaos":
         if not args.workload:
             parser.error("chaos needs a JSON spec file: repro chaos "
@@ -172,6 +250,7 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace,
             deadline_s=(args.deadline if args.deadline is not None
                         else DEFAULT_DEADLINE_S),
             retries=args.retries, progress=renderer,
+            backend=args.backend, shards=args.shards or 4,
             stats_out=sys.stderr if args.cache_stats else None)
         if renderer is not None:
             renderer.close()
@@ -182,6 +261,9 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace,
         if args.workloads:
             parser.error("--workloads does not apply to bench; "
                          "use --extended for the ten-kernel grid")
+        if args.backend != "auto":
+            parser.error("--backend does not apply to bench; the cold "
+                         "throughput benchmark measures serial execution")
         from repro.experiments.bench import run_bench_engine
         return run_bench_engine(output=args.bench_output,
                                 extended=args.extended,
@@ -200,16 +282,36 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace,
     executor = make_executor(jobs=args.jobs, cache=not args.no_cache,
                              cache_dir=args.cache_dir, progress=renderer,
                              deadline_s=args.deadline, retries=args.retries,
-                             cache_max_bytes=args.cache_max_bytes)
+                             cache_max_bytes=args.cache_max_bytes,
+                             backend=args.backend, shards=args.shards or 4)
     try:
         code = _render_artifact(parser, args, executor, selection)
         if renderer is not None:
             renderer.close()  # never interleave stats with a live line
         if args.cache_stats:
             print(executor.stats.summary(), file=sys.stderr)
+        if args.stats_json:
+            _write_stats_json(args, executor.stats)
         return code
     finally:
         executor.close()
+
+
+def _write_stats_json(args: argparse.Namespace, stats) -> None:
+    """Persist one run's engine counters for a later ``repro merge``."""
+    import json
+    from pathlib import Path
+
+    from repro.experiments.shard import stats_payload
+    name = ""
+    if args.artifact in ("sweep", "chaos") and args.workload:
+        name = Path(args.workload).stem
+    elif args.workload:
+        name = args.workload
+    payload = stats_payload(stats, artifact=args.artifact, name=name,
+                            shards=args.shards,
+                            shard_index=args.shard_index)
+    Path(args.stats_json).write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def _format_size(n_bytes: int) -> str:
@@ -322,7 +424,12 @@ def _render_artifact(parser: argparse.ArgumentParser,
             parsed = parse_sweep(args.workload)
         except ValueError as exc:
             parser.error(str(exc))
-        print(run_sweep(parsed, executor=executor))
+        if args.shard_index is not None:
+            from repro.experiments.shard import run_sweep_shard
+            print(run_sweep_shard(parsed, executor, shards=args.shards,
+                                  shard_index=args.shard_index))
+        else:
+            print(run_sweep(parsed, executor=executor))
     elif args.artifact == "sensitivity":
         from repro.experiments.sensitivity import (SENSITIVITY_WORKLOAD,
                                                    build_sensitivity)

@@ -3,8 +3,12 @@
 * :mod:`repro.experiments.configs` — Tables II/III configuration matrix,
   Table IV application list;
 * :mod:`repro.experiments.engine` — the unified execution engine: sweep
-  specs, the inline/parallel cell executor and the persistent
+  specs, the backend-driven cell executor and the persistent
   content-addressed result cache every artifact shares;
+* :mod:`repro.experiments.backends` — the pluggable execution backends
+  (inline / process pool) the executor schedules through;
+* :mod:`repro.experiments.shard` — deterministic grid sharding, the
+  shard backend and ``merge-counters``-style per-shard stat merging;
 * :mod:`repro.experiments.sweep` — JSON sweep-spec files: named axis
   presets (machine / memory / timing / policy) expanded into engine grids
   behind the ``repro sweep`` CLI artifact;
@@ -21,6 +25,13 @@
 * :mod:`repro.experiments.rendering` — ASCII tables and bar charts.
 """
 
+from repro.experiments.backends import (
+    ExecutionBackend,
+    InlineBackend,
+    ProcessPoolBackend,
+    default_jobs,
+    make_backend,
+)
 from repro.experiments.configs import (
     figure3_series,
     native_series,
@@ -42,19 +53,14 @@ from repro.experiments.engine import (
     make_executor,
 )
 from repro.experiments.sensitivity import build_sensitivity
+from repro.experiments.shard import (
+    ShardBackend,
+    merge_progress,
+    merge_stats,
+    partition,
+    shard_of,
+)
 from repro.experiments.sweep import parse_sweep, run_sweep
-
-
-def __getattr__(name: str):
-    # run_cell / run_series live in the deprecated runner stub; importing
-    # them lazily keeps `import repro.experiments` warning-free while the
-    # old names keep resolving (with the stub's DeprecationWarning) for
-    # one more release.
-    if name in ("run_cell", "run_series"):
-        from repro.experiments import runner
-        return getattr(runner, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
 
 __all__ = [
     "figure3_series",
@@ -76,4 +82,14 @@ __all__ = [
     "build_sensitivity",
     "parse_sweep",
     "run_sweep",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ProcessPoolBackend",
+    "ShardBackend",
+    "default_jobs",
+    "make_backend",
+    "merge_progress",
+    "merge_stats",
+    "partition",
+    "shard_of",
 ]

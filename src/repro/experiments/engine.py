@@ -33,16 +33,13 @@ from __future__ import annotations
 import hashlib
 import json
 import random
-import signal
 import sys
-import threading
 import time
 import traceback
-from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor, Future,
-                                ProcessPoolExecutor, wait)
-from dataclasses import dataclass, field
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field, fields
 from pathlib import Path
-from typing import (Callable, Dict, List, Optional, Sequence, Set, TextIO,
+from typing import (Callable, Dict, List, Optional, Sequence, TextIO,
                     Tuple, Union)
 
 import numpy as np
@@ -52,6 +49,9 @@ from repro.cachefs import AtomicJsonStore
 from repro.compiler.signature import CompileSignature
 from repro.compiler.store import TraceStore
 from repro.core.config import MachineConfig
+from repro.experiments.backends import (  # noqa: F401 — re-exported names
+    _RETRYABLE, CellDeadlineExceeded, ExecutionBackend, InlineBackend,
+    ProcessPoolBackend, default_jobs, make_backend)
 from repro.isa.instructions import fingerprint_line
 from repro.isa.program import Program
 from repro.memory.hierarchy import MemorySystemConfig
@@ -204,9 +204,9 @@ class CellResult:
 class RunRecord:
     """One rendered cell: statistics decorated with a relative speedup.
 
-    Historically the result type of ``repro.experiments.runner``; the
-    figure renderers consume it, so it lives with the engine now that the
-    runner module is a deprecation stub.
+    Historically the result type of the long-removed
+    ``repro.experiments.runner`` module; the figure renderers consume it,
+    so it lives with the engine.
     """
 
     config: MachineConfig
@@ -491,28 +491,6 @@ class CellError:
         return self.cell.label()
 
 
-class CellDeadlineExceeded(RuntimeError):
-    """A cell ran past the executor's per-cell deadline.
-
-    Pool mode: the watchdog observed the cell RUNNING for longer than
-    ``deadline_s`` and killed the worker pool out from under it (a hung
-    future cannot be cancelled).  Inline mode: a ``SIGALRM`` timer
-    interrupted the simulation.  Classified as an *infrastructure*
-    failure — retried within the budget, never failed fast — because a
-    hang is a property of the worker's environment (wedged filesystem,
-    livelocked I/O), not of the cell.
-    """
-
-
-#: Failure types the retry budget covers: infrastructure faults (a dead
-#: worker, a deadline-killed hang, transient I/O) where a fresh attempt
-#: can plausibly succeed.  Deterministic cell exceptions — a raising
-#: workload, a bad config — fail fast instead: retrying them burns the
-#: budget reproducing the same traceback.
-_RETRYABLE = (BrokenExecutor, CellDeadlineExceeded,
-              faults.TransientFaultError, OSError)
-
-
 class CellExecutionError(RuntimeError):
     """Raised after a streaming batch drains with at least one failed cell.
 
@@ -683,6 +661,17 @@ class ExecutorStats:
     cache_quarantined: int = 0
     cache_evicted: int = 0
 
+    def to_dict(self) -> Dict[str, int]:
+        """Counters as plain JSON (the ``--stats-json`` payload body)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, int]) -> "ExecutorStats":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored so a
+        newer writer's counter file still merges on an older reader."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: int(v) for k, v in payload.items() if k in known})
+
     def summary(self) -> str:
         text = (f"engine: {self.cells_requested} cells requested, "
                 f"{self.cache_hits} cache hits, "
@@ -712,13 +701,22 @@ class ExecutorStats:
 
 
 class CellExecutor:
-    """Streams cell batches inline or over a persistent process pool.
+    """Streams cell batches through a pluggable execution backend.
 
     ``jobs=1`` executes inline (no subprocess, no pickling); ``jobs>1``
     submits misses to one :class:`ProcessPoolExecutor` that is spun up on
     first use and reused across batches (``close()`` or the context-
     manager form shuts it down).  Identical cells within a batch are
     simulated once.  Results always come back in request order.
+
+    Scheduling itself lives behind :class:`ExecutionBackend`
+    (:mod:`repro.experiments.backends`): ``jobs`` resolves to an
+    :class:`InlineBackend` or :class:`ProcessPoolBackend`, or pass
+    ``backend=`` explicitly (e.g. a
+    :class:`~repro.experiments.shard.ShardBackend`) — the semantic layer
+    here (compile memo, cache scan, dedupe, position-keyed results,
+    counters) is backend-independent, so rendered artifacts are
+    byte-identical across backends.
 
     Execution is *streaming*: every payload is written to the cache the
     moment its simulation lands, so interrupting a grid — Ctrl-C, an
@@ -756,7 +754,8 @@ class CellExecutor:
                  progress: Optional[ProgressCallback] = None,
                  deadline_s: Optional[float] = None,
                  retries: int = 3,
-                 backoff_s: float = 0.25) -> None:
+                 backoff_s: float = 0.25,
+                 backend: Optional[ExecutionBackend] = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if deadline_s is not None and deadline_s <= 0:
@@ -765,7 +764,6 @@ class CellExecutor:
             raise ValueError("retries must be >= 0")
         if backoff_s < 0:
             raise ValueError("backoff_s must be >= 0")
-        self.jobs = jobs
         self.cache = cache
         self.traces = traces
         self.progress = progress
@@ -773,7 +771,15 @@ class CellExecutor:
         self.retries = retries
         self.backoff_s = backoff_s
         self.stats = ExecutorStats()
-        self._pool: Optional[ProcessPoolExecutor] = None
+        if backend is None:
+            # The historical --jobs contract: inline at 1, a pool above.
+            backend = (InlineBackend() if jobs == 1
+                       else ProcessPoolBackend(jobs))
+        self.backend = backend
+        self.backend.bind(self)
+        #: Mirrors the backend's worker width — an explicit ``backend=``
+        #: wins over the ``jobs`` argument.
+        self.jobs = backend.jobs
         # Compilation memo for *named* cells: the registry instantiates a
         # fresh default-shaped instance per lookup, so (name, signature) is
         # pure for the life of the executor.  Instance-backed cells are
@@ -785,45 +791,17 @@ class CellExecutor:
                              Tuple[Program, Optional[str]]] = {}
 
     # -- worker-pool lifecycle -------------------------------------------------
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs,
-                                             initializer=_pool_worker_init)
-        return self._pool
-
-    def _discard_pool(self) -> None:
-        """Drop the pool without waiting — used when it broke or the batch
-        was interrupted; the next parallel batch spins up a fresh one."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
-
-    def _kill_pool(self) -> None:
-        """Kill the pool's worker processes, then discard it.
-
-        The watchdog's hammer: a future that is already RUNNING cannot be
-        cancelled, and ``shutdown(wait=False)`` would still leave the
-        interpreter joining a hung worker at exit — so the workers are
-        killed outright (the hung cell with them) before the teardown.
-        Reaches into ``ProcessPoolExecutor._processes``; a stdlib that
-        renamed it degrades to a plain discard, never an error.
-        """
-        pool = self._pool
-        if pool is None:
-            return
-        for proc in list((getattr(pool, "_processes", None) or {}).values()):
-            try:
-                proc.kill()
-            except Exception:  # noqa: BLE001 — already dead is fine
-                pass
-        self._discard_pool()
+    @property
+    def _pool(self) -> Optional[ProcessPoolExecutor]:
+        """The backend's live worker pool, if it holds one (diagnostics
+        and tests; inline backends always report None)."""
+        return getattr(self.backend, "_pool", None)
 
     def close(self) -> None:
-        """Shut the persistent worker pool down (idempotent; the executor
-        stays usable — a later parallel batch starts a new pool)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        """Release the backend's scheduling resources (idempotent; the
+        executor stays usable — a later parallel batch starts a new
+        pool)."""
+        self.backend.close()
 
     def __enter__(self) -> "CellExecutor":
         return self
@@ -956,10 +934,7 @@ class CellExecutor:
                         source = TraceRef(root=str(self.traces.root),
                                           key=entry[1])
                 jobs_list.append((cells[i], source))
-            if self.jobs == 1 or len(jobs_list) == 1:
-                self._run_inline(jobs_list, land, fail, progress)
-            else:
-                self._stream(jobs_list, land, fail, progress)
+            self.backend.execute(jobs_list, land, fail, progress)
 
         self._sync_store_counters()
         if failures and errors == "raise":
@@ -1086,8 +1061,8 @@ class CellExecutor:
                     outcome.program, trace_key)
 
         if todo:
-            if self.jobs > 1 and len(todo) > 1:
-                pool = self._ensure_pool()
+            pool = self.backend.compile_pool() if len(todo) > 1 else None
+            if pool is not None:
                 futures = [(pool.submit(_compile_cell, cell), cell, memo_key,
                             trace_key)
                            for cell, memo_key, trace_key in todo]
@@ -1102,10 +1077,10 @@ class CellExecutor:
                         else:
                             record(cell, memo_key, trace_key, compiled)
                 except BaseException:
-                    self._discard_pool()
+                    self.backend.discard_pool()
                     raise
                 if broken:
-                    self._discard_pool()
+                    self.backend.discard_pool()
             else:
                 for cell, memo_key, trace_key in todo:
                     try:
@@ -1121,227 +1096,6 @@ class CellExecutor:
             return entry[0] if entry is not None else failed[memo_key]
 
         return [outcome_for(cell) for cell in cells]
-
-    def _execute_deadlined(self, job: Tuple[Cell, Union[Program, TraceRef],
-                                            int]) -> dict:
-        """Inline execution under the per-cell deadline (``SIGALRM``).
-
-        The alarm only exists on the main thread of a POSIX process;
-        anywhere else the deadline degrades to unenforced — inline cells
-        are the executor's own computation, and there is no second thread
-        to cut them short from.
-        """
-        deadline = self.deadline_s
-        if (deadline is None or not hasattr(signal, "SIGALRM")
-                or threading.current_thread() is not threading.main_thread()):
-            return _execute_cell(job)
-        cell, attempt = job[0], job[2]
-
-        def on_alarm(signum: int, frame: object) -> None:
-            raise CellDeadlineExceeded(
-                f"cell {cell.label()} exceeded its {deadline:.3g}s deadline "
-                f"(attempt {attempt})")
-
-        previous = signal.signal(signal.SIGALRM, on_alarm)
-        signal.setitimer(signal.ITIMER_REAL, deadline)
-        try:
-            return _execute_cell(job)
-        finally:
-            signal.setitimer(signal.ITIMER_REAL, 0.0)
-            signal.signal(signal.SIGALRM, previous)
-
-    def _run_inline(self,
-                    jobs_list: List[Tuple[Cell, Union[Program, TraceRef]]],
-                    land: Callable[[int, dict], None],
-                    fail: Callable[[int, BaseException], None],
-                    progress: Progress) -> None:
-        """Execute the batch in-process, with the same retry budget and
-        deadline the pool path enforces."""
-        for pos, (cell, source) in enumerate(jobs_list):
-            attempt = 0
-            while True:
-                try:
-                    payload = self._execute_deadlined((cell, source, attempt))
-                except Exception as exc:  # noqa: BLE001 — isolated per cell
-                    if isinstance(exc, CellDeadlineExceeded):
-                        self.stats.timeouts += 1
-                        progress.timeouts += 1
-                    if isinstance(exc, _RETRYABLE) and attempt < self.retries:
-                        attempt += 1
-                        self.stats.retries += 1
-                        progress.retries += 1
-                        self._emit(progress)
-                        time.sleep(self._backoff_delay(cell.label(), pos,
-                                                       attempt))
-                        continue
-                    fail(pos, exc)
-                else:
-                    land(pos, payload)
-                break
-
-    def _stream(self, jobs_list: List[Tuple[Cell, Union[Program, TraceRef]]],
-                land: Callable[[int, dict], None],
-                fail: Callable[[int, BaseException], None],
-                progress: Progress) -> None:
-        """Submit every job, finalise each as it completes — and survive
-        the infrastructure dying under the batch.
-
-        Three failure channels feed the shared retry budget
-        (``attempts[pos]`` counts *charged* failures per position; a cell
-        fails for real only once it exceeds ``self.retries``):
-
-        * a **retryable worker exception** (transient I/O, an injected
-          fault) charges that cell and resubmits it after backoff;
-        * a **broken pool** (OOM-killed / segfaulted worker) fails every
-          in-flight future at once with no way to identify the culprit —
-          futures that finished before the break are drained and cached
-          first, then every victim is charged one attempt and resubmitted
-          to a fresh pool;
-        * a **deadline expiry** — the watchdog tracks when each future is
-          first observed RUNNING and, once one overstays ``deadline_s``,
-          kills the pool (a running future cannot be cancelled).  Only the
-          overdue cells are charged (and counted as timeouts); collateral
-          in-flight cells are resubmitted *uncharged*, attempt counts
-          preserved — they did nothing wrong.
-
-        Deterministic cell exceptions bypass the budget and fail fast.
-        Everything that completed before an interruption was already
-        cached by ``land``, so Ctrl-C keeps its resume-by-rerun contract.
-        """
-        attempts = [0] * len(jobs_list)
-        inflight: Dict[Future, int] = {}
-        first_running: Dict[Future, float] = {}
-        #: Positions waiting out a backoff (or a pool respawn):
-        #: (monotonic resubmit time, position).
-        delayed: List[Tuple[float, int]] = []
-
-        def submit(pos: int) -> None:
-            cell, source = jobs_list[pos]
-            job = (cell, source, attempts[pos])
-            try:
-                future = self._ensure_pool().submit(_execute_cell, job)
-            except BrokenExecutor as exc:
-                # The pool broke since the last drain (another worker
-                # death): handle the wave right here — drain and charge
-                # the stranded futures — so the replacement pool never
-                # shares the in-flight map with a dead one.
-                self._discard_pool()
-                reclaim(exc, set(inflight.values()))
-                future = self._ensure_pool().submit(_execute_cell, job)
-            inflight[future] = pos
-
-        def charge(pos: int, exc: BaseException) -> None:
-            attempts[pos] += 1
-            if attempts[pos] > self.retries:
-                fail(pos, exc)
-                return
-            self.stats.retries += 1
-            progress.retries += 1
-            self._emit(progress)
-            delay = self._backoff_delay(jobs_list[pos][0].label(), pos,
-                                        attempts[pos])
-            delayed.append((time.monotonic() + delay, pos))
-
-        def reclaim(exc: BaseException, charged: Set[int]) -> None:
-            """The pool just died: drain every future that actually
-            finished (their results are real and must be cached), charge
-            the positions in ``charged``, resubmit the rest uncharged."""
-            for future, pos in list(inflight.items()):
-                del inflight[future]
-                first_running.pop(future, None)
-                payload = None
-                if future.done() and not future.cancelled():
-                    try:
-                        payload = future.result()
-                    except BaseException:  # noqa: BLE001 — died with the pool
-                        payload = None
-                if payload is not None:
-                    land(pos, payload)
-                elif pos in charged:
-                    if isinstance(exc, CellDeadlineExceeded):
-                        self.stats.timeouts += 1
-                        progress.timeouts += 1
-                    charge(pos, exc)
-                else:
-                    delayed.append((time.monotonic(), pos))
-
-        try:
-            for pos in range(len(jobs_list)):
-                submit(pos)
-            while inflight or delayed:
-                now = time.monotonic()
-                if delayed:
-                    due = [pos for when, pos in delayed if when <= now]
-                    delayed = [(when, pos) for when, pos in delayed
-                               if when > now]
-                    for pos in due:
-                        submit(pos)
-                if not inflight:
-                    next_due = min(when for when, _ in delayed)
-                    time.sleep(max(0.0, next_due - time.monotonic()))
-                    continue
-                timeout: Optional[float] = None
-                if delayed:
-                    timeout = max(0.0, min(when for when, _ in delayed) - now)
-                if self.deadline_s is not None:
-                    # Poll fast enough to observe futures entering RUNNING
-                    # and to fire the watchdog promptly.
-                    poll = min(0.05, self.deadline_s / 4)
-                    timeout = poll if timeout is None else min(timeout, poll)
-                done, _ = wait(list(inflight), timeout=timeout,
-                               return_when=FIRST_COMPLETED)
-                broken: Optional[BaseException] = None
-                broken_pos: Set[int] = set()
-                for future in done:
-                    pos = inflight.pop(future)
-                    first_running.pop(future, None)
-                    try:
-                        payload = future.result()
-                    except BrokenExecutor as exc:
-                        # One raised it, but the whole wave is dead —
-                        # handled together below so finished futures
-                        # drain before anything is charged.
-                        broken = exc
-                        broken_pos.add(pos)
-                    except Exception as exc:  # noqa: BLE001 — per cell
-                        if isinstance(exc, _RETRYABLE):
-                            charge(pos, exc)
-                        else:
-                            fail(pos, exc)
-                    else:
-                        land(pos, payload)
-                if broken is not None:
-                    self._discard_pool()
-                    # No way to tell which cell killed the worker: every
-                    # victim is charged one attempt.  A deterministic
-                    # crasher exhausts its budget within `retries` waves;
-                    # innocents ride along well inside theirs.
-                    reclaim(broken, set(inflight.values()) | broken_pos)
-                    for pos in broken_pos:
-                        charge(pos, broken)
-                    first_running.clear()
-                    continue
-                if self.deadline_s is not None and inflight:
-                    now = time.monotonic()
-                    for future in inflight:
-                        if future not in first_running and future.running():
-                            first_running[future] = now
-                    overdue = {inflight[future]
-                               for future, seen in first_running.items()
-                               if future in inflight
-                               and now - seen >= self.deadline_s}
-                    if overdue:
-                        exc_t = CellDeadlineExceeded(
-                            f"cell exceeded its {self.deadline_s:.3g}s "
-                            f"deadline")
-                        self._kill_pool()
-                        reclaim(exc_t, overdue)
-                        first_running.clear()
-        except BaseException:
-            # Interrupted mid-drain (Ctrl-C, a raising progress callback):
-            # abandon what is left — everything finalised so far is cached.
-            self._discard_pool()
-            raise
 
     @staticmethod
     def _materialise(cell: Cell, key: str, payload: dict,
@@ -1376,22 +1130,32 @@ def make_executor(jobs: int = 1, cache: bool = False,
                   deadline_s: Optional[float] = None,
                   retries: int = 3,
                   backoff_s: float = 0.25,
-                  cache_max_bytes: Optional[int] = None
+                  cache_max_bytes: Optional[int] = None,
+                  backend: Union[str, ExecutionBackend, None] = None,
+                  shards: int = 4
                   ) -> CellExecutor:
     """Build an executor from the CLI-style knobs (--jobs / --no-cache /
-    --cache-dir / --progress / --deadline / --retries / --cache-max-bytes).
+    --cache-dir / --progress / --deadline / --retries / --cache-max-bytes
+    / --backend / --shards).
 
     ``cache=True`` wires both persistent stores: cell results at
     ``cache_dir`` (size-bounded when ``cache_max_bytes`` is set) and
     compiled traces under ``cache_dir/traces``.  ``--no-cache``
     (``cache=False``) disables both — no disk is touched.
+
+    ``backend`` is a flag value (``"auto"`` / ``"inline"`` / ``"pool"`` /
+    ``"shard"``, resolved by :func:`make_backend` together with ``jobs``
+    and ``shards``) or a pre-built :class:`ExecutionBackend` instance.
     """
     from repro.compiler.store import TRACE_SUBDIR
     root = Path(cache_dir)
+    if not isinstance(backend, ExecutionBackend):
+        backend = make_backend(backend or "auto", jobs=jobs, shards=shards)
     return CellExecutor(jobs=jobs,
                         cache=(ResultCache(root, max_bytes=cache_max_bytes)
                                if cache else None),
                         traces=TraceStore(root / TRACE_SUBDIR) if cache
                         else None,
                         progress=progress, deadline_s=deadline_s,
-                        retries=retries, backoff_s=backoff_s)
+                        retries=retries, backoff_s=backoff_s,
+                        backend=backend)

@@ -1,0 +1,319 @@
+"""Deterministic grid sharding and per-shard counter merging.
+
+A sweep over a (workload × machine × timing × memory × policy) grid is
+embarrassingly partitionable: every cell is independent and the shared
+content-addressed ``.repro-cache`` is already concurrent-safe (atomic
+writes, checksummed entries).  This module supplies the three pieces
+that turn one grid into N cooperating runs:
+
+* :func:`shard_of` / :func:`partition` — a deterministic, reorder-stable
+  assignment of cells to shards.  The shard of a cell depends only on
+  the cell's *identity* (workload name, full scenario, execution flags),
+  hashed with sha256 — never on its position in the grid, the process,
+  or the Python hash seed — so every host computes the same partition
+  and the shards are disjoint and exhaustive by construction;
+* :func:`merge_stats` / :func:`merge_progress` — associative,
+  commutative, identity-preserving merges of
+  :class:`~repro.experiments.engine.ExecutorStats` /
+  :class:`~repro.experiments.engine.Progress` counters (the
+  ``merge-counters.py`` pattern): per-shard counter files combine into
+  one batch summary in any order;
+* :class:`ShardBackend` — an :class:`~repro.experiments.backends.ExecutionBackend`
+  that runs all N shards of a batch sequentially in one process, each
+  shard as an independent restartable unit over the shared cache.  Its
+  rendered output is byte-identical to an inline or pool run of the same
+  grid: sharding only regroups *scheduling*, results stay keyed by
+  request position.
+
+Cross-host sharding uses the same partition from the CLI instead:
+``repro sweep --shards N --shard-index K`` runs only shard K's cells
+(writing its counters with ``--stats-json``), and ``repro merge``
+combines the per-shard counter files once every shard has landed in the
+shared cache dir — a warm full-sweep rerun then renders the figures with
+zero duplicate simulations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.experiments.backends import (ExecutionBackend, FailFn,
+                                        InlineBackend, Job, LandFn,
+                                        ProcessPoolBackend)
+from repro.experiments.engine import (Cell, ExecutorStats, Progress,
+                                      _scenario_key)
+
+#: Schema of the ``--stats-json`` counter files ``repro merge`` consumes.
+STATS_SCHEMA = 1
+
+
+# ---------------------------------------------------------------------------
+# deterministic partitioning
+# ---------------------------------------------------------------------------
+def shard_key(cell: Cell) -> str:
+    """A cell's shard-assignment identity, as a stable content hash.
+
+    Deliberately *cheaper* than the result-cache key: no compiled-program
+    fingerprint (sharding must not compile), no code fingerprint (all
+    hosts of one sweep run the same code by contract, and the partition
+    must survive code edits so a resumed shard re-runs the same cells).
+    Two cells that would produce the same result always land in the same
+    shard, so the in-batch dedupe keeps working per shard.
+    """
+    payload = {
+        "workload": cell.workload_name,
+        "scenario": _scenario_key(cell.scenario()),
+        "functional": cell.functional,
+        "warm": cell.warm,
+        "check": cell.check,
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+def shard_of(cell: Cell, shards: int) -> int:
+    """The shard index in ``[0, shards)`` this cell belongs to."""
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    return int(shard_key(cell), 16) % shards
+
+
+def partition(cells: Sequence[Cell], shards: int) -> List[List[int]]:
+    """Positions of ``cells`` grouped per shard.
+
+    Disjoint and exhaustive by construction (every position lands in
+    exactly one bucket) and stable under reordering: membership is a
+    pure function of the cell, so permuting the input only permutes
+    positions *within* buckets, never cells *across* them.
+    """
+    buckets: List[List[int]] = [[] for _ in range(shards)]
+    for i, cell in enumerate(cells):
+        buckets[shard_of(cell, shards)].append(i)
+    return buckets
+
+
+def select_shard(cells: Sequence[Cell], shards: int,
+                 shard_index: int) -> List[int]:
+    """Positions of the cells shard ``shard_index`` owns."""
+    if not 0 <= shard_index < shards:
+        raise ValueError(
+            f"shard index must be in [0, {shards}), got {shard_index}")
+    return partition(cells, shards)[shard_index]
+
+
+# ---------------------------------------------------------------------------
+# counter merging (merge-counters.py style)
+# ---------------------------------------------------------------------------
+def merge_stats(*stats: ExecutorStats) -> ExecutorStats:
+    """Field-wise sum of executor counter sets.
+
+    Associative and commutative (integer addition per field) with
+    ``ExecutorStats()`` as the identity, so per-shard counter files merge
+    into the same batch summary in any order and any grouping —
+    ``merge(a, merge(b, c)) == merge(merge(a, b), c)``.
+    """
+    merged = ExecutorStats()
+    for one in stats:
+        for f in fields(ExecutorStats):
+            setattr(merged, f.name,
+                    getattr(merged, f.name) + getattr(one, f.name))
+    return merged
+
+
+#: Progress fields that merge by summation (``total`` included: shard
+#: snapshots cover disjoint cell sets).
+_PROGRESS_COUNTERS = ("total", "done", "hits", "misses", "failed",
+                      "retries", "timeouts")
+
+
+def merge_progress(*snapshots: Progress) -> Progress:
+    """Sum per-shard :class:`Progress` snapshots into one batch view.
+
+    The merged snapshot keeps the first labelled shard's label stripped
+    of its ``[shard k/N]`` suffix; the elapsed clock restarts (wall time
+    is not additive across hosts and is never part of the artifacts).
+    """
+    merged = Progress(total=0)
+    for snap in snapshots:
+        if not merged.label and snap.label:
+            merged.label = snap.label.split(" [shard ", 1)[0]
+        for name in _PROGRESS_COUNTERS:
+            setattr(merged, name, getattr(merged, name) + getattr(snap, name))
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# the shard backend
+# ---------------------------------------------------------------------------
+class ShardBackend(ExecutionBackend):
+    """Run a batch as N disjoint shards, sequentially, in one process.
+
+    Each shard is dispatched through an inner inline/pool backend (by
+    ``jobs``) as its own unit: a kill between (or during) shards loses at
+    most the in-flight shard's unfinished cells, because every finished
+    cell already streamed into the shared cache — rerunning resumes with
+    the finished shards replaying as hits.  ``per_shard`` records each
+    shard's execution-side counter *delta* (simulations, retries,
+    timeouts, scheduler counters); their :func:`merge_stats` sum equals
+    the executor's own execution counters, which is the invariant the
+    shard tests pin.
+    """
+
+    name = "shard"
+
+    def __init__(self, shards: int = 4, jobs: int = 1) -> None:
+        super().__init__()
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = shards
+        self.jobs = jobs
+        self._inner = (InlineBackend() if jobs == 1
+                       else ProcessPoolBackend(jobs))
+        #: Execution-counter deltas per shard, refreshed each batch.
+        self.per_shard: List[ExecutorStats] = []
+        #: Cells dispatched per shard in the last batch (pending cells
+        #: only — cache hits are finalised before backends see the batch).
+        self.shard_sizes: List[int] = []
+
+    def bind(self, executor) -> None:
+        super().bind(executor)
+        self._inner.bind(executor)
+
+    def compile_pool(self):
+        return self._inner.compile_pool()
+
+    def discard_pool(self) -> None:
+        self._inner.discard_pool()
+
+    def close(self) -> None:
+        self._inner.close()
+
+    @staticmethod
+    def _snapshot(stats: ExecutorStats) -> ExecutorStats:
+        return ExecutorStats(**{f.name: getattr(stats, f.name)
+                                for f in fields(ExecutorStats)})
+
+    @staticmethod
+    def _delta(before: ExecutorStats, after: ExecutorStats) -> ExecutorStats:
+        return ExecutorStats(**{f.name: (getattr(after, f.name)
+                                         - getattr(before, f.name))
+                                for f in fields(ExecutorStats)})
+
+    def execute(self, jobs_list: List[Job], land: LandFn, fail: FailFn,
+                progress: "Progress") -> None:
+        buckets = partition([cell for cell, _ in jobs_list], self.shards)
+        self.per_shard = []
+        self.shard_sizes = [len(b) for b in buckets]
+        base_label = progress.label
+        executor = self.executor
+        try:
+            for index, bucket in enumerate(buckets):
+                before = self._snapshot(executor.stats)
+                if bucket:
+                    suffix = f"[shard {index + 1}/{self.shards}]"
+                    progress.label = (f"{base_label} {suffix}" if base_label
+                                      else suffix)
+                    sub = [jobs_list[i] for i in bucket]
+                    # Positions are local to the shard inside the inner
+                    # backend; translate back to batch positions so land/
+                    # fail keep finalising by *request* position.
+                    self._inner.execute(
+                        sub,
+                        lambda pos, payload, b=bucket: land(b[pos], payload),
+                        lambda pos, exc, b=bucket: fail(b[pos], exc),
+                        progress)
+                self.per_shard.append(self._delta(before, executor.stats))
+        finally:
+            progress.label = base_label
+
+
+# ---------------------------------------------------------------------------
+# per-shard counter files (`--stats-json` / `repro merge`)
+# ---------------------------------------------------------------------------
+def stats_payload(stats: ExecutorStats, *, artifact: str = "",
+                  name: str = "", shards: Optional[int] = None,
+                  shard_index: Optional[int] = None) -> dict:
+    """The JSON document one run's ``--stats-json FILE`` writes."""
+    return {
+        "schema": STATS_SCHEMA,
+        "artifact": artifact,
+        "name": name,
+        "shards": shards,
+        "shard_index": shard_index,
+        "stats": stats.to_dict(),
+    }
+
+
+def load_stats_file(path: Union[str, Path]) -> dict:
+    """Read and validate one counter file; raises ``ValueError`` on
+    anything ``repro merge`` cannot safely sum."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise ValueError(f"cannot read stats file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path} is not valid JSON: {exc}") from exc
+    if (not isinstance(payload, dict)
+            or payload.get("schema") != STATS_SCHEMA
+            or not isinstance(payload.get("stats"), dict)):
+        raise ValueError(f"{path} is not a repro stats file "
+                         f"(expected schema {STATS_SCHEMA})")
+    return payload
+
+
+def render_merge(paths: Sequence[Union[str, Path]]) -> str:
+    """The ``repro merge`` body: per-shard one-liners plus the merged
+    summary (whose first line is the same grep interface every run
+    prints under ``--cache-stats``)."""
+    payloads = [load_stats_file(p) for p in paths]
+    per_shard = [ExecutorStats.from_dict(p["stats"]) for p in payloads]
+    merged = merge_stats(*per_shard)
+    lines = [f"merged {len(payloads)} runs"]
+    for path, payload, stats in zip(paths, payloads, per_shard):
+        tags = []
+        if payload.get("name"):
+            tags.append(str(payload["name"]))
+        if payload.get("shard_index") is not None:
+            tags.append(f"shard {payload['shard_index']}"
+                        + (f"/{payload['shards']}"
+                           if payload.get("shards") else ""))
+        tag = f" ({', '.join(tags)})" if tags else ""
+        lines.append(f"  {Path(path).name}{tag}: "
+                     f"{stats.cells_requested} cells, "
+                     f"{stats.cache_hits} hits, "
+                     f"{stats.sims_executed} simulations, "
+                     f"{stats.cells_failed} failed")
+    lines.append(merged.summary())
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# sharded sweep rendering (`repro sweep --shard-index K`)
+# ---------------------------------------------------------------------------
+def run_sweep_shard(parsed, executor, *, shards: int,
+                    shard_index: int) -> str:
+    """Run only shard ``shard_index`` of a parsed sweep and render its
+    rows.
+
+    The header names the shard and the owned/total cell counts; the
+    table shares the full sweep's column layout, so eyeballing shard
+    outputs side by side lines up.  The full-grid render comes later,
+    from a warm rerun over the merged cache — never by concatenating
+    shard tables.
+    """
+    from repro.experiments.sweep import render_rows
+    pairs = parsed.labelled_cells()
+    owned = select_shard([cell for _, cell in pairs], shards, shard_index)
+    picked = [pairs[i] for i in owned]
+    results = executor.run(
+        [cell for _, cell in picked],
+        label=f"{parsed.name} [shard {shard_index}/{shards}]")
+    header = (f"=== sweep: {parsed.name} shard {shard_index}/{shards} === "
+              f"({len(picked)} of {len(pairs)} cells)")
+    body = render_rows(parsed, [label for label, _ in picked], results)
+    return header + "\n" + body if picked else header + "\n(no cells)"

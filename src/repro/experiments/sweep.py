@@ -266,9 +266,13 @@ def render_sweep(parsed: ParsedSweep,
                    results)
 
 
-def _render(parsed: ParsedSweep,
-            labels: Sequence[Tuple[str, str, str, str, str]],
-            results: Sequence[CellResult]) -> str:
+def render_rows(parsed: ParsedSweep,
+                labels: Sequence[Tuple[str, str, str, str, str]],
+                results: Sequence[CellResult]) -> str:
+    """The result table alone (no sweep header) for any subset of the
+    grid's ``(labels, results)`` pairs — shared by the full-sweep render
+    and the per-shard render, so shard outputs keep the full sweep's
+    column layout."""
     if len(labels) != len(results):
         raise ValueError(
             f"expected {len(labels)} results for this spec, "
@@ -297,13 +301,19 @@ def _render(parsed: ParsedSweep,
             row.append("yes" if result.correct else "NO")
         rows.append(row)
 
+    return render_table(headers, rows)
+
+
+def _render(parsed: ParsedSweep,
+            labels: Sequence[Tuple[str, str, str, str, str]],
+            results: Sequence[CellResult]) -> str:
     header = (f"=== sweep: {parsed.name} === "
               f"({len(parsed.workloads)} workloads x "
               f"{len(parsed.machines)} machines x "
               f"{len(parsed.timing)} timing x "
               f"{len(parsed.memory)} memory x "
               f"{len(parsed.policies)} policies = {len(parsed)} cells)")
-    return header + "\n" + render_table(headers, rows)
+    return header + "\n" + render_rows(parsed, labels, results)
 
 
 def run_sweep(spec: Union[str, Path, dict, ParsedSweep],

@@ -1,0 +1,202 @@
+"""Execution backends: selection, equivalence, and the CLI surface.
+
+The backend layer's contract: *which* backend runs a batch (inline,
+process pool, or shards) changes scheduling only — never a byte of the
+rendered artifacts, never the cache contents, never the user-visible
+counters a fault-free run reports.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.config import ava_config, native_config
+from repro.experiments.backends import (ExecutionBackend, InlineBackend,
+                                        ProcessPoolBackend, default_jobs,
+                                        make_backend)
+from repro.experiments.engine import (Cell, CellExecutor, SweepSpec,
+                                      make_executor)
+from repro.experiments.shard import ShardBackend, stats_payload
+
+
+@pytest.fixture
+def cache_args(tmp_path):
+    return ["--cache-dir", str(tmp_path / "cache")]
+
+
+# ---------------------------------------------------------------------------
+# backend construction and selection
+# ---------------------------------------------------------------------------
+def test_executor_picks_backend_from_jobs():
+    assert isinstance(CellExecutor().backend, InlineBackend)
+    with CellExecutor(jobs=2) as parallel:
+        assert isinstance(parallel.backend, ProcessPoolBackend)
+        assert parallel.backend.jobs == 2
+
+
+def test_make_backend_names():
+    assert isinstance(make_backend("auto", jobs=1), InlineBackend)
+    assert isinstance(make_backend("auto", jobs=3), ProcessPoolBackend)
+    assert isinstance(make_backend("inline", jobs=8), InlineBackend)
+    pool = make_backend("pool", jobs=1)
+    assert isinstance(pool, ProcessPoolBackend)
+    shard = make_backend("shard", jobs=1, shards=6)
+    assert isinstance(shard, ShardBackend)
+    assert shard.shards == 6
+    with pytest.raises(ValueError):
+        make_backend("threads")
+
+
+def test_make_executor_accepts_backend_instance_and_name(tmp_path):
+    backend = ShardBackend(shards=2)
+    executor = make_executor(cache=True, cache_dir=tmp_path / "c",
+                             backend=backend)
+    assert executor.backend is backend
+    named = make_executor(cache=True, cache_dir=tmp_path / "c",
+                          backend="shard", shards=3)
+    assert isinstance(named.backend, ShardBackend)
+    assert named.backend.shards == 3
+
+
+def test_backend_must_be_bound_before_use():
+    backend = InlineBackend()
+    with pytest.raises(RuntimeError):
+        _ = backend.executor
+    with pytest.raises(NotImplementedError):
+        ExecutionBackend().execute([], None, None, None)
+
+
+def test_default_jobs_is_a_positive_count():
+    assert default_jobs() >= 1
+
+
+# ---------------------------------------------------------------------------
+# cross-backend equivalence (the acceptance invariant)
+# ---------------------------------------------------------------------------
+def test_backends_agree_byte_for_byte():
+    spec = SweepSpec(workloads=("axpy",),
+                     configs=(native_config(1), ava_config(2), ava_config(4),
+                              ava_config(8)))
+    inline = CellExecutor().run_spec(spec)
+    with CellExecutor(jobs=2) as pooled:
+        pool = pooled.run_spec(spec)
+    sharded_ex = CellExecutor(backend=ShardBackend(shards=3))
+    sharded = sharded_ex.run_spec(spec)
+    for a, b, c in zip(inline, pool, sharded):
+        assert a.stats == b.stats == c.stats
+        assert a.energy == b.energy == c.energy
+
+
+def test_figure3_stdout_identical_across_backends(capsys, tmp_path):
+    """The headline acceptance: figure3 renders the same bytes whether the
+    grid ran inline, over a pool, or as 4 sequential shards."""
+    outputs = {}
+    for backend, extra in (("inline", []), ("pool", ["--jobs", "2"]),
+                           ("shard", ["--shards", "4"])):
+        cache = ["--cache-dir", str(tmp_path / backend)]
+        assert main(["figure3", "axpy", "--backend", backend]
+                    + extra + cache) == 0
+        outputs[backend] = capsys.readouterr().out
+    assert outputs["inline"] == outputs["pool"] == outputs["shard"]
+    assert "Figure 3 panel: axpy" in outputs["inline"]
+
+
+# ---------------------------------------------------------------------------
+# CLI flag surface
+# ---------------------------------------------------------------------------
+def test_jobs_auto_is_the_default_and_spelled_form(capsys, cache_args):
+    assert main(["table2"] + cache_args) == 0
+    first = capsys.readouterr().out
+    assert main(["table2", "--jobs", "auto"] + cache_args) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_jobs_flag_validation():
+    with pytest.raises(SystemExit):
+        main(["table2", "--jobs", "many"])
+    with pytest.raises(SystemExit):
+        main(["table2", "--jobs", "0"])
+
+
+def test_shard_flag_validation(cache_args):
+    # --shard-index is sweep-only and needs --shards.
+    with pytest.raises(SystemExit):
+        main(["figure3", "axpy", "--shard-index", "0", "--shards", "2"]
+             + cache_args)
+    with pytest.raises(SystemExit):
+        main(["sweep", "examples/sweep_smoke.json", "--shard-index", "0"]
+             + cache_args)
+    # Out of range, bad counts, and mixing with --backend shard.
+    with pytest.raises(SystemExit):
+        main(["sweep", "examples/sweep_smoke.json", "--shards", "2",
+              "--shard-index", "2"] + cache_args)
+    with pytest.raises(SystemExit):
+        main(["sweep", "examples/sweep_smoke.json", "--shards", "0",
+              "--shard-index", "0"] + cache_args)
+    with pytest.raises(SystemExit):
+        main(["sweep", "examples/sweep_smoke.json", "--backend", "shard",
+              "--shards", "2", "--shard-index", "0"] + cache_args)
+    # --shards without anything to shard is a contradiction.
+    with pytest.raises(SystemExit):
+        main(["table2", "--shards", "4"] + cache_args)
+
+
+def test_bench_rejects_backend_and_stats_json():
+    with pytest.raises(SystemExit):
+        main(["bench", "engine", "--backend", "pool"])
+    with pytest.raises(SystemExit):
+        main(["bench", "engine", "--stats-json", "x.json"])
+
+
+def test_stats_json_writes_a_mergeable_counter_file(capsys, tmp_path):
+    stats_file = tmp_path / "run.json"
+    assert main(["sweep", "examples/sweep_smoke.json",
+                 "--stats-json", str(stats_file),
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    capsys.readouterr()
+    payload = json.loads(stats_file.read_text())
+    assert payload["schema"] == 1
+    assert payload["artifact"] == "sweep"
+    assert payload["name"] == "sweep_smoke"
+    assert payload["stats"]["cells_requested"] == 4
+    assert payload["stats"]["sims_executed"] == 4
+    assert payload["shard_index"] is None
+
+
+def test_merge_artifact_sums_counter_files(capsys, tmp_path):
+    from repro.experiments.engine import ExecutorStats
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    a.write_text(json.dumps(stats_payload(
+        ExecutorStats(cells_requested=3, cache_misses=3, sims_executed=3),
+        artifact="sweep", name="demo", shards=2, shard_index=0)))
+    b.write_text(json.dumps(stats_payload(
+        ExecutorStats(cells_requested=1, cache_hits=1),
+        artifact="sweep", name="demo", shards=2, shard_index=1)))
+    assert main(["merge", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "merged 2 runs" in out
+    assert "a.json (demo, shard 0/2): 3 cells, 0 hits, 3 simulations" in out
+    assert ("engine: 4 cells requested, 1 cache hits, 3 misses, "
+            "3 simulations executed") in out
+
+
+def test_merge_rejects_missing_and_malformed_files(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["merge"])  # nothing to merge
+    with pytest.raises(SystemExit):
+        main(["merge", str(tmp_path / "absent.json")])
+    bad = tmp_path / "bad.json"
+    bad.write_text("{\"schema\": 99}")
+    with pytest.raises(SystemExit):
+        main(["merge", str(bad)])
+
+
+def test_merge_rejects_stray_run_flags(tmp_path):
+    stats = tmp_path / "s.json"
+    from repro.experiments.engine import ExecutorStats
+    stats.write_text(json.dumps(stats_payload(ExecutorStats())))
+    with pytest.raises(SystemExit):
+        # Extra positional FILEs are merge-only.
+        main(["figure3", "axpy", str(stats)])

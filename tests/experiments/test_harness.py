@@ -1,4 +1,4 @@
-"""Experiment harness: configs, runner, rendering, tables."""
+"""Experiment harness: configs, rendering, tables."""
 
 import pytest
 
@@ -59,19 +59,16 @@ def test_fill_speedups_normalises_against_the_baseline():
     assert records[1].speedup > 1.0
 
 
-def test_runner_stub_is_deprecated_but_functional():
-    """The one-release compat stub: warns on import, still answers."""
+def test_runner_stub_is_gone():
+    """The one-release compat stub served its release; it no longer exists."""
     import importlib
     import sys
-    import warnings
 
     sys.modules.pop("repro.experiments.runner", None)
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        runner = importlib.import_module("repro.experiments.runner")
-    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
-    record = runner.run_cell(get_workload("axpy"), native_config(1))
-    assert record.stats.cycles > 0
+    with pytest.raises(ModuleNotFoundError):
+        importlib.import_module("repro.experiments.runner")
+    import repro.experiments
+    assert not hasattr(repro.experiments, "run_cell")
 
 
 def test_render_table_alignment():

@@ -1,0 +1,93 @@
+"""Property tests for the sharding layer's algebraic guarantees.
+
+The contracts cross-host sharding rests on: the partition is a pure
+function of cell identity (disjoint, exhaustive, stable under grid
+reordering — every host computes the same assignment), and the counter
+merge is an associative, commutative monoid with ``ExecutorStats()`` as
+identity, so per-shard counter files combine in any order and grouping.
+"""
+
+from dataclasses import fields
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import machine_names
+from repro.experiments.engine import Cell, ExecutorStats
+from repro.experiments.shard import (merge_stats, partition, shard_key,
+                                     shard_of)
+from repro.memory.presets import memory_system_names
+from repro.sim.scenario import build_scenario
+from repro.vpu.params import timing_names
+
+# Sample the registries once so the strategies stay stable across examples.
+_scenarios = st.builds(build_scenario,
+                       machine=st.sampled_from(machine_names()),
+                       memory=st.sampled_from(memory_system_names()),
+                       timing=st.sampled_from(timing_names()))
+
+_cells = st.builds(Cell.from_scenario,
+                   st.sampled_from(["axpy", "blackscholes", "somier"]),
+                   _scenarios,
+                   warm=st.booleans(),
+                   check=st.booleans())
+
+_cell_lists = st.lists(_cells, min_size=0, max_size=30)
+
+_shard_counts = st.integers(min_value=1, max_value=8)
+
+_stats = st.builds(ExecutorStats, **{
+    f.name: st.integers(min_value=0, max_value=10**9)
+    for f in fields(ExecutorStats)})
+
+
+@given(cells=_cell_lists, shards=_shard_counts)
+@settings(max_examples=60, deadline=None)
+def test_partition_is_disjoint_and_exhaustive(cells, shards):
+    buckets = partition(cells, shards)
+    assert len(buckets) == shards
+    flat = sorted(i for bucket in buckets for i in bucket)
+    assert flat == list(range(len(cells)))  # every position, exactly once
+
+
+@given(cells=_cell_lists, shards=_shard_counts, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_partition_is_stable_under_reordering(cells, shards, data):
+    """Membership is a pure function of the cell: permuting the grid
+    permutes positions within buckets, never cells across them."""
+    original = partition(cells, shards)
+    shuffled = data.draw(st.permutations(cells))
+    permuted = partition(shuffled, shards)
+    for bucket, shuffled_bucket in zip(original, permuted):
+        assert (sorted(shard_key(cells[i]) for i in bucket)
+                == sorted(shard_key(shuffled[i]) for i in shuffled_bucket))
+
+
+@given(cell=_cells, shards=_shard_counts)
+@settings(max_examples=40, deadline=None)
+def test_shard_of_is_deterministic_and_in_range(cell, shards):
+    index = shard_of(cell, shards)
+    assert 0 <= index < shards
+    assert shard_of(cell, shards) == index  # no per-process hash seed
+    # A round-trip through the cell's scenario keeps the assignment.
+    clone = Cell.from_scenario(cell.workload_name, cell.scenario(),
+                               functional=cell.functional, warm=cell.warm,
+                               check=cell.check)
+    assert shard_of(clone, shards) == index
+
+
+@given(a=_stats, b=_stats, c=_stats)
+@settings(max_examples=60, deadline=None)
+def test_merge_stats_is_an_associative_commutative_monoid(a, b, c):
+    assert merge_stats(a, merge_stats(b, c)) == \
+        merge_stats(merge_stats(a, b), c)
+    assert merge_stats(a, b) == merge_stats(b, a)
+    assert merge_stats(a, ExecutorStats()) == a
+    assert merge_stats(a) == a
+    assert merge_stats() == ExecutorStats()
+
+
+@given(stats=_stats)
+@settings(max_examples=40, deadline=None)
+def test_stats_survive_the_counter_file_round_trip(stats):
+    """What --stats-json writes, repro merge reads back unchanged."""
+    assert ExecutorStats.from_dict(stats.to_dict()) == stats
