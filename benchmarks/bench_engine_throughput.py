@@ -115,14 +115,19 @@ def main(argv=None) -> int:
                         help="measurement repetitions; best run is kept")
     parser.add_argument("--relative", action="store_true",
                         help="gate on the same-run scheduler-vs-reference "
-                             "speedup instead of the committed absolute "
-                             "baseline (machine-independent; used in CI)")
+                             "speedup and the warm-trace floor instead of "
+                             "the committed absolute baseline "
+                             "(machine-independent; used in CI)")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile one cold grid run and save the "
+                             "top functions next to --output")
     args = parser.parse_args(argv)
     return run_bench_engine(output=args.output,
                             baseline_path=Path(args.baseline),
                             max_regression=args.max_regression,
                             repeats=args.repeats,
-                            relative=args.relative)
+                            relative=args.relative,
+                            profile=args.profile)
 
 
 if __name__ == "__main__":

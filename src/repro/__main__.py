@@ -110,6 +110,9 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="FILE",
                         help="where 'bench engine' writes its JSON record "
                              "(default: BENCH_engine.json)")
+    parser.add_argument("--profile", action="store_true",
+                        help="bench engine: cProfile one cold grid run and "
+                             "print/save the top cumulative functions")
     parser.add_argument("--jobs", "-j", default="auto", metavar="N",
                         help="worker processes for simulation cells: a "
                              "count, or 'auto' for the CPUs this process "
@@ -267,6 +270,7 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace,
         from repro.experiments.bench import run_bench_engine
         return run_bench_engine(output=args.bench_output,
                                 extended=args.extended,
+                                profile=args.profile,
                                 progress=renderer)
 
     from repro.workloads.registry import select_workloads

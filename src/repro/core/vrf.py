@@ -94,6 +94,18 @@ class TwoLevelVRF:
             return np.zeros(vl, dtype=np.float64)
         return buf[:vl].copy()
 
+    def read_preg_view(self, preg: int, vl: int) -> Optional[np.ndarray]:
+        """Zero-copy :meth:`read_preg` for callers that only *read* the
+        returned elements before the register is next written (the
+        vectorized execute paths); identical counters and values."""
+        self.pvrf_reads += vl
+        if not self.functional:
+            return None
+        buf = self._pvrf.get(preg)
+        if buf is None:
+            return np.zeros(vl, dtype=np.float64)
+        return buf[:vl]
+
     def has_mvrf_copy(self, vvr: int) -> bool:
         """True when the M-VRF already holds this VVR generation's value."""
         return vvr in self._mvrf_valid

@@ -22,7 +22,7 @@ from typing import Deque, List, Optional
 class VRFMapping:
     """PRMT + VRLT + PFRL over ``n_vvr`` VVRs and ``n_physical`` P-regs."""
 
-    __slots__ = ("n_vvr", "n_physical", "vvr_version", "_prmt",
+    __slots__ = ("n_vvr", "n_physical", "vvr_version", "stamp", "_prmt",
                  "_vrlt", "_pfrl", "_owner", "_in_mvrf")
 
     def __init__(self, n_vvr: int, n_physical: int) -> None:
@@ -38,6 +38,12 @@ class VRFMapping:
         #: ever increase, so a sum over a fixed VVR set is unchanged iff
         #: every member is unchanged.
         self.vvr_version: List[int] = [0] * n_vvr
+        #: Global transition counter: bumped on *every* mapping transition
+        #: (any VVR's allocate / evict / release).  An unchanged stamp
+        #: proves every per-VVR version sum is unchanged, so the scheduler
+        #: can revalidate whole memoized stall outcomes in O(1) instead of
+        #: re-summing versions over each uop's source set.
+        self.stamp: int = 0
         self._prmt: List[Optional[int]] = [None] * n_vvr
         self._vrlt: List[bool] = [False] * n_vvr
         self._pfrl: Deque[int] = deque(range(n_physical))
@@ -87,6 +93,7 @@ class VRFMapping:
         self._in_mvrf[vvr] = False
         self._owner[preg] = vvr
         self.vvr_version[vvr] += 1
+        self.stamp += 1
         return preg
 
     def evict(self, vvr: int) -> int:
@@ -98,6 +105,7 @@ class VRFMapping:
         self._owner[preg] = None
         self._pfrl.append(preg)
         self.vvr_version[vvr] += 1
+        self.stamp += 1
         return preg
 
     def release(self, vvr: int) -> Optional[int]:
@@ -110,6 +118,7 @@ class VRFMapping:
             self._prmt[vvr] = None
             self._in_mvrf[vvr] = False
             self.vvr_version[vvr] += 1
+            self.stamp += 1
             return None
         preg = self.evict(vvr)
         self._in_mvrf[vvr] = False

@@ -73,6 +73,8 @@ def measure_engine_throughput(repeats: int = 3,
             "cycles_per_sec": round(stats.sim_cycles / elapsed, 1),
             "events_processed": stats.sim_events_processed,
             "cycles_skipped": stats.sim_cycles_skipped,
+            "spans_charged": stats.sim_spans_charged,
+            "span_cycles": stats.sim_span_cycles,
         }
         if best is None or run["cells_per_sec"] > best["cells_per_sec"]:
             best = run
@@ -130,13 +132,17 @@ def measure_warm_trace_throughput(repeats: int = 3,
     return best
 
 
-def measure_scheduler_speedup(spec: SweepSpec = BENCH_SPEC) -> dict:
+def measure_scheduler_speedup(spec: SweepSpec = BENCH_SPEC,
+                              repeats: int = 3) -> dict:
     """Machine-independent check: event-driven scheduler vs the retained
     reference stepper, same grid, same machine, same run.
 
     Unlike the absolute cells/second gate (valid only on the machine the
     baseline was recorded on), this ratio cancels host speed, so CI can
-    gate on it without cross-machine flakiness.
+    gate on it without cross-machine flakiness.  Each engine is timed
+    ``repeats`` times and the best (least-contended) run is kept — a
+    single pass swings the ratio by +/-15% on a noisy runner, which is
+    wider than the regression margin the gate is meant to detect.
     """
     import numpy as np
 
@@ -151,18 +157,45 @@ def measure_scheduler_speedup(spec: SweepSpec = BENCH_SPEC) -> dict:
     timings = {}
     for label, cls in (("reference", ReferencePipeline),
                        ("scheduler", VectorPipeline)):
-        start = time.perf_counter()
-        for workload, program, config in jobs:
-            pipe = cls(config, program)
-            workload.init_data(np.random.default_rng(42))
-            pipe.run()
-        timings[label] = time.perf_counter() - start
+        best = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            for workload, program, config in jobs:
+                pipe = cls(config, program)
+                workload.init_data(np.random.default_rng(42))
+                pipe.run()
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+        timings[label] = best
     return {
         "reference_seconds": round(timings["reference"], 4),
         "scheduler_seconds": round(timings["scheduler"], 4),
         "speedup_vs_reference": round(
             timings["reference"] / timings["scheduler"], 3),
     }
+
+
+def profile_engine(spec: SweepSpec = BENCH_SPEC, top: int = 25) -> str:
+    """cProfile one cold grid run; returns the top-``top`` cumulative rows.
+
+    The next perf PR starts from this table instead of guesses: it is
+    printed by ``repro bench engine --profile`` and written next to the
+    benchmark JSON.  One run, no repeats — profiling overhead (~2.5x)
+    distorts absolute time anyway; only the ranking is meaningful.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    CellExecutor().run_spec(spec, label="bench profile run")
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    return buffer.getvalue()
 
 
 def load_baseline(path: Path = BASELINE_PATH) -> Optional[dict]:
@@ -197,6 +230,10 @@ def render_report(measured: dict, baseline: Optional[dict]) -> str:
         f"{measured['cycles_skipped']} of {measured['cycles_simulated']} "
         "cycles skipped",
     ]
+    if measured.get("spans_charged"):
+        lines.append(
+            f"  spans: {measured['spans_charged']} charged covering "
+            f"{measured['span_cycles']} cycles")
     if "warm_trace_cells_per_sec" in measured:
         lines.insert(2, f"  warm trace store: "
                         f"{measured['warm_trace_cells_per_sec']} cells/s "
@@ -220,17 +257,25 @@ def run_bench_engine(output: Optional[str] = "BENCH_engine.json",
                      max_regression: float = 0.20,
                      repeats: int = 3,
                      relative: bool = False,
-                     min_relative_speedup: float = 1.1,
+                     min_relative_speedup: float = 1.3,
+                     min_warm_ratio: float = 0.95,
                      extended: bool = False,
+                     profile: bool = False,
                      progress=None) -> int:
     """CLI body for ``repro bench engine``; returns an exit status.
 
-    ``relative=True`` gates on the same-run scheduler-vs-reference ratio
-    instead of the committed absolute baseline — the machine-independent
-    mode CI uses.  ``extended=True`` measures the ten-kernel grid
+    ``relative=True`` gates on machine-independent ratios instead of the
+    committed absolute baseline — the mode CI uses.  Two ratios must hold:
+    the same-run scheduler-vs-reference speedup
+    (``min_relative_speedup``), and the warm-trace/cold ratio
+    (``min_warm_ratio`` — replaying stored traces skips every compile, so
+    warm throughput falling measurably below cold means the replay path
+    itself regressed).  ``extended=True`` measures the ten-kernel grid
     (:data:`EXTENDED_BENCH_SPEC`); the absolute gate only applies when the
-    committed baseline was recorded on the same grid.  ``progress``
-    forwards live per-cell completion to the engine's progress callback.
+    committed baseline was recorded on the same grid.  ``profile=True``
+    appends a cProfile table of one cold run (written next to ``output``).
+    ``progress`` forwards live per-cell completion to the engine's
+    progress callback.
     """
     spec = EXTENDED_BENCH_SPEC if extended else BENCH_SPEC
     grid = "extended" if extended else "standard"
@@ -253,19 +298,37 @@ def run_bench_engine(output: Optional[str] = "BENCH_engine.json",
         measured["pr1_baseline_cells_per_sec"] = (
             baseline["pr1_baseline_cells_per_sec"])
     if relative:
-        measured.update(measure_scheduler_speedup(spec=spec))
+        measured.update(measure_scheduler_speedup(spec=spec,
+                                                  repeats=repeats))
     print(render_report(measured, baseline))
     if output:
         Path(output).write_text(json.dumps(measured, indent=2) + "\n")
         print(f"[written to {output}]")
+    if profile:
+        table = profile_engine(spec=spec)
+        print(table)
+        if output:
+            profile_path = Path(output).with_name(
+                Path(output).stem + "_profile.txt")
+            profile_path.write_text(table)
+            print(f"[profile written to {profile_path}]")
     if relative:
+        status = 0
         ratio = measured["speedup_vs_reference"]
         print(f"  vs reference stepper (same run): {ratio}x")
         if ratio < min_relative_speedup:
             print(f"scheduler regressed: only {ratio}x over the reference "
                   f"stepper (floor {min_relative_speedup}x)")
-            return 1
-        return 0
+            status = 1
+        warm_ratio = (measured["warm_trace_cells_per_sec"]
+                      / measured["cells_per_sec"])
+        print(f"  warm-trace vs cold (same run): {warm_ratio:.2f}x")
+        if warm_ratio < min_warm_ratio:
+            print(f"warm-trace path regressed: {warm_ratio:.2f}x cold "
+                  f"throughput (floor {min_warm_ratio}x) — trace replay "
+                  "should never be slower than compiling")
+            status = 1
+        return status
     if baseline:
         failure = check_regression(measured, baseline, max_regression)
         if failure:

@@ -36,6 +36,9 @@ class Tag(enum.Enum):
 
 _seq_counter = itertools.count()
 
+#: Shared per-opcode derived-attribute dicts (see ``_fill_derived``).
+_DERIVED_BY_OP: dict = {}
+
 
 @dataclass(frozen=True)
 class Instruction:
@@ -72,19 +75,25 @@ class Instruction:
                 "is_scalar")
 
     def _fill_derived(self) -> OpInfo:
-        info = op_info(self.op)
-        kind = info.kind
         # Direct __dict__ fill: these are not dataclass fields, and the
-        # frozen-dataclass __setattr__ guard must be bypassed anyway.
-        self.__dict__.update(
-            info=info,
-            is_memory=info.is_memory,
-            is_load=kind is OpKind.MEM_LOAD,
-            is_store=kind is OpKind.MEM_STORE,
-            is_arith=info.is_arith,
-            is_scalar=kind is OpKind.SCALAR,
-        )
-        return info
+        # frozen-dataclass __setattr__ guard must be bypassed anyway.  The
+        # per-opcode dict is built once and shared — instruction
+        # construction (compile *and* trace replay) is hot enough that
+        # re-deriving six flags per instance showed up in profiles.
+        derived = _DERIVED_BY_OP.get(self.op)
+        if derived is None:
+            info = op_info(self.op)
+            kind = info.kind
+            derived = _DERIVED_BY_OP[self.op] = dict(
+                info=info,
+                is_memory=info.is_memory,
+                is_load=kind is OpKind.MEM_LOAD,
+                is_store=kind is OpKind.MEM_STORE,
+                is_arith=info.is_arith,
+                is_scalar=kind is OpKind.SCALAR,
+            )
+        self.__dict__.update(derived)
+        return derived["info"]
 
     def __getstate__(self) -> dict:
         """Exclude the derived attributes: ``OpInfo`` carries evaluator
@@ -191,15 +200,18 @@ class Instruction:
         the store turns that into a miss.
         """
         mem = data.get("mem")
+        tag = data.get("tag")
         inst = object.__new__(cls)
+        # Member-map lookups instead of enum __call__: this runs once per
+        # instruction per trace replay; bad names still raise (KeyError).
         inst.__dict__.update(
-            op=Op(data["op"]),
+            op=Op._value2member_map_[data["op"]],
             dst=data.get("dst"),
             srcs=tuple(data.get("srcs", ())),
             scalar=data.get("scalar"),
             vl=data["vl"],
             mem=None if mem is None else MemOperand.from_dict(mem),
-            tag=Tag(data.get("tag", Tag.NORMAL.value)),
+            tag=Tag.NORMAL if tag is None else Tag._value2member_map_[tag],
             uid=next(_seq_counter),
         )
         inst._fill_derived()

@@ -64,7 +64,12 @@ class MemOperand:
 
     @classmethod
     def from_dict(cls, data: dict) -> "MemOperand":
-        return cls(space=AddressSpace(data["space"]), buffer=data["buffer"],
+        # Direct member-map lookup: trace replay rebuilds one operand per
+        # memory instruction and the enum's __call__ protocol was a
+        # measurable slice of warm-trace load time.  Unknown names still
+        # raise (KeyError) exactly like the constructor form.
+        return cls(space=AddressSpace._value2member_map_[data["space"]],
+                   buffer=data["buffer"],
                    base_elem=data["base_elem"], stride=data["stride"],
                    indexed=data["indexed"])
 

@@ -118,6 +118,26 @@ class MemoryLayout:
         idx = np.clip(idx, 0, len(buf) - 1)
         return buf[idx].copy()
 
+    def load_view(self, mem: MemOperand, vl: int) -> np.ndarray:
+        """Zero-copy :meth:`load` for read-only consumers.
+
+        Returns a view of the backing buffer when the access is a plain
+        in-bounds unit-stride window (or a spill-slot read); falls back to
+        :meth:`load` for gathers, strided accesses and clamped tails.
+        """
+        if mem.space is AddressSpace.SPILL:
+            slot = self._slot_index(mem.buffer)
+            data = self._spill.get(slot)
+            if data is None:
+                return np.zeros(vl, dtype=np.float64)
+            return data[:vl]
+        if not mem.indexed and mem.stride == 1:
+            buf = self._data[mem.buffer]
+            base = mem.base_elem
+            if 0 <= base and base + vl <= len(buf):
+                return buf[base:base + vl]
+        return self.load(mem, vl)
+
     def store(self, mem: MemOperand, vl: int, data: np.ndarray,
               index: Optional[np.ndarray] = None) -> None:
         """Functionally write ``vl`` elements described by ``mem``."""

@@ -70,6 +70,16 @@ class SimStats:
     events_processed: int = 0
     cycles_skipped: int = 0
 
+    # Span charging: every fast-forward disposes of one stalled interval in
+    # a single step instead of cycle-by-cycle.  ``spans_charged`` counts
+    # those intervals and ``span_cycles`` the cycles they cover (the
+    # evaluated probe plus the jumped cycles), so
+    # ``span_cycles == spans_charged + cycles_skipped``.  Both pipelines
+    # compute them from the same structural events, so they are pinned
+    # byte-identical by the equivalence suite like every other counter.
+    spans_charged: int = 0
+    span_cycles: int = 0
+
     # Provenance.
     config_name: str = ""
     program_name: str = ""

@@ -187,6 +187,39 @@ class VectorPipeline:
         # (rename resets it when it pops).
         self._dispatch_wake = 0.0
 
+        # -- span-charging scheduler state --------------------------------
+        # Issue stamp: bumped on every _finish_issue.  A wake-up memo that
+        # observed an unissued dependency stays "unknown" only while no
+        # issue happened anywhere (an issue is the only event that can
+        # give an unissued dependency a timestamp).
+        self._issue_stamp = 0
+        # The swap operations currently sitting in the memory queue, kept
+        # as a side list so neither the jump computation nor the blocked
+        # -gate wake has to rescan the whole queue per probe.
+        self._queued_swaps: List[MicroOp] = []
+        # Memoized blocked-issue gates.  While the memo proves the gate
+        # must still report "no progress, no counters", the stage is not
+        # entered at all.  Validity: same head object, (mem only) same
+        # queue length, wake not yet reached (or, when some dependency was
+        # unissued, no issue since), and either no mapping transition since
+        # (stamp) or the head's source-residency version sum unchanged.
+        self._mg_head: Optional[MicroOp] = None  # memory gate
+        self._mg_len = -1
+        self._mg_wake = -1.0
+        self._mg_istamp = -1
+        self._mg_mstamp = -1
+        self._mg_vsum = -1
+        self._ag_head: Optional[MicroOp] = None  # arithmetic gate
+        self._ag_wake = -1.0
+        self._ag_istamp = -1
+        self._ag_mstamp = -1
+        self._ag_vsum = -1
+        # Pre-issue memo revalidation shortcut: while the mapping stamp is
+        # unchanged since the head's stall memo last validated, the source
+        # version sum cannot have changed and the re-sum is skipped.
+        self._pi_head: Optional[MicroOp] = None
+        self._pi_mstamp = -1
+
         self.now = 0
         self.stats = SimStats(config_name=config.name,
                               program_name=program.name)
@@ -212,29 +245,44 @@ class VectorPipeline:
         One loop iteration evaluates one cycle; each stage is entered only
         when its O(1) gate holds (the gate mirrors the stage's no-progress
         early return, so skipping a stage is observationally identical to
-        polling it).  When no gate holds or every entered stage reports a
-        stall, the clock jumps straight to the next event.
+        polling it).  Blocked issue gates and stalled pre-issue / rename
+        heads are additionally *memoized*: while the memo proves the stage
+        would report the same outcome again, only the stall counter the
+        interval accrues is charged — the span-charging replay — and the
+        stage body is never entered.  When no gate holds or every entered
+        stage reports a stall, the clock jumps straight to the next event.
         """
         stats = self.stats
         rob = self.rob
         rob_entries = rob._entries  # deque identity is stable
+        rob_capacity = rob.capacity
+        rat_frl = self.rat._frl
         completions = self._completions
         mem_q = self.mem_q
         arith_q = self.arith_q
         pre_issue_q = self.pre_issue_q
         dispatch_q = self.dispatch_q
         pre_issue_depth = self._pre_issue_depth
+        mem_depth = self.params.mem_queue_depth
+        arith_depth = self.params.arith_queue_depth
         n_insts = self._n_insts
         to_commit = self._to_commit
-        vvr_version = self.mapping.vvr_version
+        mapping = self.mapping
+        vvr_version = mapping.vvr_version
         done_state = UopState.DONE
         events = 0
         writer_stalls = 0
+        queue_stalls = 0
+        rob_stalls = 0
+        frl_stalls = 0
         while rob.total_committed < to_commit:
             now = self.now
             if now > max_cycles:
                 stats.events_processed += events
                 stats.preissue_writer_stalls += writer_stalls
+                stats.preissue_queue_stalls += queue_stalls
+                stats.rename_rob_stalls += rob_stalls
+                stats.rename_frl_stalls += frl_stalls
                 raise RuntimeError(
                     f"simulation exceeded {max_cycles} cycles "
                     f"(now={now}, {rob.total_committed}/"
@@ -247,28 +295,93 @@ class VectorPipeline:
                 self._complete()
                 progress = True
             if mem_q and self._mem_busy_until <= now:
-                progress |= self._issue_memory()
+                # Memoized blocked gate: while the queue composition is
+                # unchanged, the head's wake has not arrived (or no issue
+                # happened since an unissued dependency was observed), and
+                # no source changed residency, the gate must still report
+                # "blocked, nothing to count" — skip the stage body.
+                head = mem_q[0]
+                blocked = False
+                if head is self._mg_head and len(mem_q) == self._mg_len:
+                    wake = self._mg_wake
+                    if (now < wake if wake >= 0.0
+                            else self._issue_stamp == self._mg_istamp):
+                        if mapping.stamp == self._mg_mstamp:
+                            blocked = True
+                        else:
+                            vsum = self._mg_vsum
+                            if vsum < 0:  # swap head: mapping-independent
+                                blocked = True
+                            else:
+                                s = 0
+                                for v in head.src_vvrs:
+                                    s += vvr_version[v]
+                                blocked = s == vsum
+                            if blocked:
+                                self._mg_mstamp = mapping.stamp
+                if not blocked:
+                    progress |= self._issue_memory()
             if arith_q and self._arith_busy_until <= now:
-                progress |= self._issue_arith()
+                head = arith_q[0]
+                blocked = False
+                if head is self._ag_head:
+                    wake = self._ag_wake
+                    if (now < wake if wake >= 0.0
+                            else self._issue_stamp == self._ag_istamp):
+                        if mapping.stamp == self._ag_mstamp:
+                            blocked = True
+                        else:
+                            s = 0
+                            for v in head.src_vvrs:
+                                s += vvr_version[v]
+                            blocked = s == self._ag_vsum
+                            if blocked:
+                                self._ag_mstamp = mapping.stamp
+                if not blocked:
+                    progress |= self._issue_arith()
             if pre_issue_q:
-                # Inlined writer-stall memo (the dominant pre-issue
-                # outcome): re-count the stall while no source of the head
-                # changed residency, without entering the stage.
+                # Inlined pre-issue stall memo (both kinds): re-count the
+                # stall while no source of the head changed residency,
+                # without entering the stage.  The mapping stamp shortcut
+                # skips even the version re-sum on quiet cycles.
                 head = pre_issue_q[0]
-                if head.preissue_stall_version >= 0 \
-                        and head.preissue_stall_kind == 0:
-                    vsum = 0
-                    for v in head.src_vvrs:
-                        vsum += vvr_version[v]
-                    if vsum == head.preissue_stall_version:
-                        writer_stalls += 1
+                pk = head.preissue_stall_version
+                if pk >= 0:
+                    if (head is self._pi_head
+                            and mapping.stamp == self._pi_mstamp):
+                        same = True
+                    else:
+                        s = 0
+                        for v in head.src_vvrs:
+                            s += vvr_version[v]
+                        same = s == pk
+                        if same:
+                            self._pi_head = head
+                            self._pi_mstamp = mapping.stamp
+                    if same:
+                        if head.preissue_stall_kind == 0:
+                            writer_stalls += 1
+                        elif (len(mem_q) >= mem_depth
+                              if head.inst.is_memory
+                              else len(arith_q) >= arith_depth):
+                            queue_stalls += 1
+                        else:
+                            head.preissue_stall_version = -1
+                            progress |= self._pre_issue()
                     else:
                         head.preissue_stall_version = -1
                         progress |= self._pre_issue()
                 else:
                     progress |= self._pre_issue()
             if dispatch_q and len(pre_issue_q) < pre_issue_depth:
-                progress |= self._rename()
+                # Inlined rename stall charging (the stage's two
+                # no-progress early returns, re-checked in O(1)).
+                if len(rob_entries) >= rob_capacity:
+                    rob_stalls += 1
+                elif dispatch_q[0].dst is not None and not rat_frl:
+                    frl_stalls += 1
+                else:
+                    progress |= self._rename()
             if self._fetch_idx < n_insts and now >= self._dispatch_wake:
                 progress |= self._dispatch()
             if progress:
@@ -280,11 +393,21 @@ class VectorPipeline:
                 self._fast_forward()
         stats.events_processed += events
         stats.preissue_writer_stalls += writer_stalls
+        stats.preissue_queue_stalls += queue_stalls
+        stats.rename_rob_stalls += rob_stalls
+        stats.rename_frl_stalls += frl_stalls
         self._harvest()
         return self.stats
 
     def _fast_forward(self) -> None:
-        """Jump ``now`` to the earliest future event in the unified set."""
+        """Jump ``now`` to the earliest future event in the unified set.
+
+        Every queue-head / queued-swap candidate comes from the memoized
+        per-uop wake timestamps (:meth:`_ready_wake`), and the swap
+        candidates come from the maintained side list instead of a rescan
+        of the whole memory queue — one jump is O(queued swaps) with O(1)
+        per candidate, and O(1) when the memos hold.
+        """
         now = self.now
         best = _NEVER
         if self._completions:
@@ -295,20 +418,20 @@ class VectorPipeline:
             c = self._mem_busy_until
             if now < c < best:
                 best = c
-            wait = self._head_wait_time(self.mem_q[0])
+            wait = self._ready_wake(self.mem_q[0])
             if wait is not None and now < wait < best:
                 best = wait
-            # Swap ops can issue out of order past a blocked head.
-            for queued in self.mem_q:
-                if queued.inst.tag is Tag.SWAP:
-                    wait = self._head_wait_time(queued)
-                    if wait is not None and now < wait < best:
-                        best = wait
+            # Swap ops can issue out of order past a blocked head.  (A
+            # swap head contributes twice; the min is unaffected.)
+            for queued in self._queued_swaps:
+                wait = self._ready_wake(queued)
+                if wait is not None and now < wait < best:
+                    best = wait
         if self.arith_q:
             c = self._arith_busy_until
             if now < c < best:
                 best = c
-            wait = self._head_wait_time(self.arith_q[0])
+            wait = self._ready_wake(self.arith_q[0])
             if wait is not None and now < wait < best:
                 best = wait
         if self._fetch_idx < self._n_insts:
@@ -318,12 +441,67 @@ class VectorPipeline:
         if best is _NEVER:
             raise DeadlockError(self._dump())
         target = int(best)
-        self.stats.fast_forward_cycles += target - now
-        self.stats.cycles_skipped += target - now
+        stats = self.stats
+        stats.fast_forward_cycles += target - now
+        stats.cycles_skipped += target - now
+        # Span accounting: one stalled interval disposed of in one step.
+        # The covered span is the evaluated probe cycle plus the jump.
+        stats.spans_charged += 1
+        stats.span_cycles += target - now + 1
         self.now = target
 
+    def _ready_wake(self, uop: MicroOp) -> Optional[float]:
+        """Memoized :meth:`_head_wait_time`: earliest readiness timestamp.
+
+        Once every dependency has issued the value is final (``issued_at``
+        never changes after issue and the dependency set resets the memo
+        when mutated); while some dependency is unissued, "unknown" stays
+        valid until the next issue anywhere (the only event that can stamp
+        it).
+        """
+        w = uop.wake_at
+        if w >= 0.0:
+            return w
+        if w == -1.0 and uop.wake_stamp == self._issue_stamp:
+            return None
+        delay = self._chain_delay
+        t = 0.0
+        for p in uop.producers:
+            if p is None:
+                continue
+            issued = p.issued_at
+            if issued < 0:
+                uop.wake_at = -1.0
+                uop.wake_stamp = self._issue_stamp
+                return None  # producer not issued yet; no timestamp exists
+            if issued + delay > t:
+                t = issued + delay
+        for g in uop.reader_guards:
+            issued = g.issued_at
+            if issued < 0:
+                uop.wake_at = -1.0
+                uop.wake_stamp = self._issue_stamp
+                return None
+            if issued + delay > t:
+                t = issued + delay
+        g = uop.store_guard
+        if g is not None:
+            issued = g.issued_at
+            if issued < 0:
+                uop.wake_at = -1.0
+                uop.wake_stamp = self._issue_stamp
+                return None
+            if issued + delay > t:
+                t = issued + delay
+        uop.wake_at = t
+        return t
+
     def _head_wait_time(self, uop: MicroOp) -> Optional[float]:
-        """Earliest cycle the queue head could become ready, if timestamped."""
+        """Earliest cycle the queue head could become ready, if timestamped.
+
+        Unmemoized form, kept for diagnostic use; the scheduler itself
+        goes through :meth:`_ready_wake`.
+        """
         delay = self._chain_delay
         t = 0.0
         for p in uop.producers:
@@ -334,6 +512,58 @@ class VectorPipeline:
                 return None  # producer not issued yet; no timestamp exists
             if issued + delay > t:
                 t = issued + delay
+        for g in uop.reader_guards:
+            issued = g.issued_at
+            if issued < 0:
+                return None
+            if issued + delay > t:
+                t = issued + delay
+        g = uop.store_guard
+        if g is not None:
+            issued = g.issued_at
+            if issued < 0:
+                return None
+            if issued + delay > t:
+                t = issued + delay
+        return t
+
+    def _gate_wake(self, uop: MicroOp) -> Optional[float]:
+        """Earliest cycle a blocked issue-gate *probe* could see this head
+        ready.
+
+        Differs from :meth:`_ready_wake` on one point: the resolve fast
+        path prunes producers the moment they are DONE, so for a non-swap
+        head each producer's constraint expires at
+        ``min(issued_at + delay, done_at)`` — the probe stops seeing the
+        producer at its ``done_at`` even when the chain delay would reach
+        further.  Guards are never pruned and constrain until
+        ``issued_at + delay`` exactly, as do a swap head's producers
+        (swap resolution has no pruning pass).
+        """
+        delay = self._chain_delay
+        t = 0.0
+        if uop.inst.tag is not Tag.SWAP:
+            for p in uop.producers:
+                if p is None:
+                    continue
+                issued = p.issued_at
+                if issued < 0:
+                    return None
+                w = issued + delay
+                done = p.done_at
+                if done < w:
+                    w = done
+                if w > t:
+                    t = w
+        else:
+            for p in uop.producers:
+                if p is None:
+                    continue
+                issued = p.issued_at
+                if issued < 0:
+                    return None
+                if issued + delay > t:
+                    t = issued + delay
         for g in uop.reader_guards:
             issued = g.issued_at
             if issued < 0:
@@ -488,8 +718,47 @@ class VectorPipeline:
         if code == _R_CREATED:
             return True  # a priority swap op now heads the memory queue
         if code == _R_VICTIM:
+            # Victim-stall outcomes depend on RAC state that can change
+            # without a mapping transition, so they are never memoized:
+            # the stall is re-counted by a real probe every cycle.
             self.stats.issue_victim_stalls += 1
-        return self._issue_swap_bypass()
+            return self._issue_swap_bypass()
+        if self._issue_swap_bypass():
+            return True
+        # Head waits on timestamps only (_R_WAIT) and no queued swap is
+        # ready: memoize the closed gate so re-probes charge nothing in
+        # O(1) until something observable changes.
+        self._memoize_mem_gate(uop)
+        return False
+
+    def _memoize_mem_gate(self, head: MicroOp) -> None:
+        wake = self._gate_wake(head)
+        if wake is not None:
+            for cand in self._queued_swaps:
+                if cand is head:
+                    continue
+                w = self._ready_wake(cand)
+                if w is None:
+                    wake = None
+                    break
+                if w < wake:
+                    wake = w
+        if wake is None:
+            self._mg_wake = -1.0
+            self._mg_istamp = self._issue_stamp
+        else:
+            self._mg_wake = wake
+        self._mg_head = head
+        self._mg_len = len(self.mem_q)
+        if head.inst.tag is Tag.SWAP:
+            self._mg_vsum = -1
+        else:
+            vvr_version = self.mapping.vvr_version
+            s = 0
+            for v in head.src_vvrs:
+                s += vvr_version[v]
+            self._mg_vsum = s
+        self._mg_mstamp = self.mapping.stamp
 
     def _issue_memory_uop(self, uop: MicroOp) -> None:
         plan = self.vmu.plan(uop.inst)
@@ -503,6 +772,7 @@ class VectorPipeline:
         uop.dram_stall = plan.fill_beats + plan.miss_latency
         self._count_issue(uop)
         if uop.inst.tag is Tag.SWAP:
+            self._queued_swaps.remove(uop)
             self._execute_swap(uop)
         else:
             self._execute_memory(uop)
@@ -517,12 +787,18 @@ class VectorPipeline:
         head's own source may be coming back via a Swap-Load sitting behind
         it) and overlaps swap traffic with dependency stalls.
         """
+        if not self._queued_swaps:
+            return False
         mem_q = self.mem_q
+        now = self.now
         for idx in range(1, len(mem_q)):
             cand = mem_q[idx]
             if cand.inst.tag is not Tag.SWAP:
                 continue
-            if not self._ready(cand):
+            # Memoized readiness: ready iff every dependency issued and the
+            # latest wake timestamp has arrived (exactly _ready()).
+            wake = self._ready_wake(cand)
+            if wake is None or wake > now:
                 continue
             del mem_q[idx]
             self._issue_memory_uop(cand)
@@ -539,6 +815,21 @@ class VectorPipeline:
                 return True
             if code == _R_VICTIM:
                 self.stats.issue_victim_stalls += 1
+                return False
+            # _R_WAIT: pure timestamp wait — memoize the closed gate.
+            wake = self._gate_wake(uop)
+            if wake is None:
+                self._ag_wake = -1.0
+                self._ag_istamp = self._issue_stamp
+            else:
+                self._ag_wake = wake
+            self._ag_head = uop
+            vvr_version = self.mapping.vvr_version
+            s = 0
+            for v in uop.src_vvrs:
+                s += vvr_version[v]
+            self._ag_vsum = s
+            self._ag_mstamp = self.mapping.stamp
             return False
         self.arith_q.popleft()
         info = uop.inst.info
@@ -605,6 +896,7 @@ class VectorPipeline:
                                 or (state is UopState.ISSUED
                                     and p.done_at <= now)):
                             producers[i] = None
+                            uop.wake_at = -2.0  # dependency set changed
                         elif p.issued_at < 0 or p.issued_at + delay > now:
                             ready = False
             else:
@@ -727,6 +1019,7 @@ class VectorPipeline:
         """
         uop.state = UopState.ISSUED
         uop.issued_at = self.now
+        self._issue_stamp += 1
         prod_first = 0
         prod_done = 0
         for p in uop.producers:
@@ -795,9 +1088,12 @@ class VectorPipeline:
             vrf.pvrf_reads += vl * len(uop.src_pregs)
             vrf.pvrf_writes += vl
             return
-        values = [self.vrf.read_preg(p, inst.vl) for p in uop.src_pregs]
+        # Zero-copy source views: every evaluator builds a fresh output
+        # array, and write_preg copies, so no view outlives this call.
+        vrf = self.vrf
+        values = [vrf.read_preg_view(p, inst.vl) for p in uop.src_pregs]
         result = evaluate_arith(inst.op, values, inst.scalar, inst.vl)
-        self.vrf.write_preg(uop.dst_preg, result, inst.vl)
+        vrf.write_preg(uop.dst_preg, result, inst.vl)
 
     def _execute_swap(self, uop: MicroOp) -> None:
         if uop.inst.is_store:
@@ -832,27 +1128,25 @@ class VectorPipeline:
             else:
                 vrf.pvrf_reads += vl * (2 if mem.indexed else 1)
             return
+        # Functional path on zero-copy views: layout.store / write_preg copy
+        # on write, so the views are consumed before any buffer mutates.
+        vrf = self.vrf
         if inst.is_load:
             assert uop.dst_preg is not None
-            if self.functional:
-                index = None
-                if mem.indexed:
-                    index = self.vrf.read_preg(uop.src_pregs[0], inst.vl)
+            if mem.indexed:
+                index = vrf.read_preg_view(uop.src_pregs[0], inst.vl)
                 data = self.layout.load(mem, inst.vl, index)
-                self.vrf.write_preg(uop.dst_preg, data, inst.vl)
             else:
-                if mem.indexed:
-                    self.vrf.read_preg(uop.src_pregs[0], inst.vl)
-                self.vrf.write_preg(uop.dst_preg, None, inst.vl)
+                data = self.layout.load_view(mem, inst.vl)
+            vrf.write_preg(uop.dst_preg, data, inst.vl)
             return
         # Store: data always comes from srcs[0]; gather index from srcs[1].
-        data = self.vrf.read_preg(uop.src_pregs[0], inst.vl)
+        data = vrf.read_preg_view(uop.src_pregs[0], inst.vl)
         index = None
         if mem.indexed:
-            index = self.vrf.read_preg(uop.src_pregs[1], inst.vl)
-        if self.functional:
-            assert data is not None
-            self.layout.store(mem, inst.vl, data, index)
+            index = vrf.read_preg_view(uop.src_pregs[1], inst.vl)
+        assert data is not None
+        self.layout.store(mem, inst.vl, data, index)
 
     # ------------------------------------------------------------------ pre-issue
     def _pre_issue(self) -> bool:
@@ -1016,6 +1310,7 @@ class VectorPipeline:
         self._pending_mvrf_store[victim] = uop
         self._preg_readers.setdefault(preg, []).append(uop)
         uop.validate_ordering()
+        self._queued_swaps.append(uop)
         if front:
             self.mem_q.appendleft(uop)
         else:
@@ -1039,6 +1334,7 @@ class VectorPipeline:
         self.vrf.mark_pending(vvr)
         self.swap_logic.note_allocation(vvr)
         uop.validate_ordering()
+        self._queued_swaps.append(uop)
         if front:
             # Priority load: jump the queue, but never ahead of the
             # Swap-Store that freed its physical register, nor ahead of the

@@ -208,6 +208,10 @@ class ReferencePipeline:
         target = int(min(future))
         self.stats.fast_forward_cycles += target - self.now
         self.stats.cycles_skipped += target - self.now
+        # Span accounting: one stalled interval disposed of in one step.
+        # The covered span is the evaluated probe cycle plus the jump.
+        self.stats.spans_charged += 1
+        self.stats.span_cycles += target - self.now + 1
         self.now = target
 
     def _head_wait_time(self, uop: MicroOp) -> Optional[float]:

@@ -25,7 +25,8 @@ import pytest
 from repro import faults
 from repro.core.config import ava_config, native_config
 from repro.experiments.chaos import run_chaos
-from repro.experiments.engine import (Cell, CellExecutionError, CellExecutor,
+from repro.experiments.engine import (CACHE_SCHEMA, Cell,
+                                      CellExecutionError, CellExecutor,
                                       CellResult, Progress, ResultCache)
 from repro.faults import (CACHE_CORRUPT, CACHE_ENOSPC, CACHE_READONLY,
                           CELL_HANG, WORKER_CRASH, FaultPlan, FaultSpec)
@@ -43,7 +44,7 @@ def _cell(config=None, n_elements: int = 256) -> Cell:
 # ---------------------------------------------------------------------------
 def test_checksummed_entries_round_trip(tmp_path):
     store = ResultCache(tmp_path)
-    payload = {"schema": 3, "stats": {"cycles": 7}, "energy": {"total": 1.0}}
+    payload = {"schema": CACHE_SCHEMA, "stats": {"cycles": 7}, "energy": {"total": 1.0}}
     store.put("k", payload)
     assert store.get("k") == payload
     wrapper = json.loads(store.path("k").read_text())
@@ -52,7 +53,7 @@ def test_checksummed_entries_round_trip(tmp_path):
 
 def test_bitrot_is_quarantined_and_reads_as_a_miss(tmp_path):
     store = ResultCache(tmp_path)
-    payload = {"schema": 3, "stats": {"cycles": 7}, "energy": {"total": 1.0}}
+    payload = {"schema": CACHE_SCHEMA, "stats": {"cycles": 7}, "energy": {"total": 1.0}}
     store.put("k", payload)
     raw = store.path("k").read_text()
     rotten = raw.replace('cycles\\": 7', 'cycles\\": 9')  # body is escaped
@@ -67,7 +68,7 @@ def test_bitrot_is_quarantined_and_reads_as_a_miss(tmp_path):
 def test_legacy_plain_payload_is_a_miss_but_not_quarantined(tmp_path):
     store = ResultCache(tmp_path)
     store.path("k").parent.mkdir(parents=True, exist_ok=True)
-    store.path("k").write_text(json.dumps({"schema": 3, "stats": {},
+    store.path("k").write_text(json.dumps({"schema": CACHE_SCHEMA, "stats": {},
                                            "energy": {}}))
     assert store.get("k") is None
     assert store.quarantined == 0
@@ -76,7 +77,7 @@ def test_legacy_plain_payload_is_a_miss_but_not_quarantined(tmp_path):
 
 def test_verify_classifies_the_whole_damage_taxonomy(tmp_path):
     store = ResultCache(tmp_path)
-    ok = {"schema": 3, "stats": {}, "energy": {}}
+    ok = {"schema": CACHE_SCHEMA, "stats": {}, "energy": {}}
     store.put("good", ok)
     store.put("rotten", ok)
     raw = store.path("rotten").read_text()
@@ -96,7 +97,7 @@ def test_readonly_cache_degrades_to_memory_with_one_warning(recwarn, tmp_path):
     plan = FaultPlan(specs=[FaultSpec(kind=CACHE_READONLY, site="results",
                                       times=99)])
     store = ResultCache(tmp_path / "cache")
-    payload = {"schema": 3, "stats": {}, "energy": {}}
+    payload = {"schema": CACHE_SCHEMA, "stats": {}, "energy": {}}
     with faults.injected(plan):
         store.put("a", payload)
         store.put("b", payload)
@@ -111,7 +112,7 @@ def test_enospc_mid_write_leaves_no_partial_entry(recwarn, tmp_path):
     plan = FaultPlan(specs=[FaultSpec(kind=CACHE_ENOSPC, site="results",
                                       ordinal=0)])
     store = ResultCache(tmp_path / "cache")
-    payload = {"schema": 3, "stats": {}, "energy": {}}
+    payload = {"schema": CACHE_SCHEMA, "stats": {}, "energy": {}}
     with faults.injected(plan):
         store.put("a", payload)  # hits ENOSPC mid-write
         store.put("b", payload)  # the next write finds space again
@@ -171,7 +172,7 @@ def test_corrupt_write_is_quarantined_then_resimulated(tmp_path):
 # eviction: the size bound and its races
 # ---------------------------------------------------------------------------
 def _sized_payload(tag: str, n: int = 64) -> dict:
-    return {"schema": 3, "stats": {}, "energy": {}, "pad": tag * n}
+    return {"schema": CACHE_SCHEMA, "stats": {}, "energy": {}, "pad": tag * n}
 
 
 def test_eviction_never_exceeds_the_bound(tmp_path):
@@ -264,8 +265,8 @@ def test_concurrent_eviction_loses_no_in_flight_writes(tmp_path):
 def test_clear_spares_entries_committed_after_it_started(tmp_path):
     import os
     store = ResultCache(tmp_path)
-    store.put("old", {"schema": 3, "stats": {}, "energy": {}})
-    store.put("fresh", {"schema": 3, "stats": {}, "energy": {}})
+    store.put("old", {"schema": CACHE_SCHEMA, "stats": {}, "energy": {}})
+    store.put("fresh", {"schema": CACHE_SCHEMA, "stats": {}, "energy": {}})
     # A concurrent writer committing while clear() runs lands with a
     # LATER mtime than the clear's start; model that with a future stamp.
     future = time.time() + 30

@@ -23,6 +23,7 @@ from repro.core.config import (ava_config, native_config, rg_config,
                                with_physical_registers)
 from repro.core.swap import VictimPolicy
 from repro.isa.builder import KernelBuilder
+from repro.vpu.params import get_timing, timing_names
 from repro.vpu.pipeline import VectorPipeline
 from repro.vpu.reference import ReferencePipeline
 from repro.workloads.registry import ALL_WORKLOAD_NAMES, get_workload
@@ -44,8 +45,9 @@ def _compile_small(name, config):
 
 
 def _run(cls, workload, program, config, *, functional=True,
-         victim_policy=VictimPolicy.RAC_MIN, aggressive_reclamation=True):
-    pipe = cls(config, program, functional=functional,
+         victim_policy=VictimPolicy.RAC_MIN, aggressive_reclamation=True,
+         params=None):
+    pipe = cls(config, program, params=params, functional=functional,
                victim_policy=victim_policy,
                aggressive_reclamation=aggressive_reclamation)
     data = workload.init_data(np.random.default_rng(42))
@@ -104,6 +106,18 @@ def test_scheduler_matches_reference_victim_policies(policy):
     config = ava_config(8)
     workload, program = _compile_small("blackscholes", config)
     _assert_equivalent(workload, program, config, victim_policy=policy)
+
+
+@pytest.mark.parametrize("timing_name", timing_names())
+def test_scheduler_matches_reference_timing_presets(timing_name):
+    """Every registered timing preset: the span-charging scheduler's wake
+    memos key off queue depths, swap budgets and dead times, so the
+    byte-identical guarantee is pinned on each registered departure from
+    the calibrated default (deep/shallow queues, single/wide swap)."""
+    config = ava_config(8)
+    workload, program = _compile_small("blackscholes", config)
+    _assert_equivalent(workload, program, config,
+                       params=get_timing(timing_name))
 
 
 def test_scheduler_matches_reference_without_reclamation():
