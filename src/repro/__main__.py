@@ -81,7 +81,7 @@ def main(argv: list[str] | None = None) -> int:
                         choices=["table1", "table2", "table3", "table4",
                                  "table5", "figure3", "figure4", "figure5",
                                  "claims", "bench", "sweep", "sensitivity",
-                                 "chaos", "cache", "merge"])
+                                 "chaos", "cache", "merge", "lint"])
     parser.add_argument("workload", nargs="?", default=None,
                         help="application for figure3 (a registered name, "
                              "'all' for Table IV, 'extended' for the "
@@ -89,10 +89,13 @@ def main(argv: list[str] | None = None) -> int:
                              "name for bench ('engine'); spec file path "
                              "for sweep and chaos; action for cache "
                              "('stats', 'clear' or 'verify'; default: "
-                             "stats); first stats file for merge")
+                             "stats); first stats file for merge; first "
+                             "path to analyze for lint (default: the "
+                             "repro package)")
     parser.add_argument("files", nargs="*", default=[], metavar="FILE",
                         help="merge: further per-shard stats files "
-                             "(written by --stats-json)")
+                             "(written by --stats-json); lint: further "
+                             "paths to analyze")
     parser.add_argument("--traces", action="store_true",
                         help="cache clear: prune only the trace store")
     parser.add_argument("--results", action="store_true",
@@ -162,6 +165,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0, metavar="N",
                         help="chaos: seed selecting the injected fault "
                              "plan (default: 0)")
+    parser.add_argument("--rules", default=None, metavar="LIST",
+                        help="lint: comma-separated rule codes (D001) or "
+                             "families (D,K) to run (default: all rules)")
+    parser.add_argument("--json", action="store_true",
+                        help="lint: emit the machine-readable JSON report")
+    parser.add_argument("--fix", action="store_true",
+                        help="lint: mechanically repair fixable findings "
+                             "(missing hot-path __slots__, missing "
+                             "broad-except justification scaffolds) "
+                             "before checking")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run every simulation cell under the "
+                             "microarchitectural sanitizer (VRF/ROB/RAT/"
+                             "span invariants checked per uop-event; "
+                             "stats and stdout are byte-identical, cells "
+                             "fail loudly on any violation)")
     parser.add_argument("--progress", dest="progress", action="store_true",
                         default=None,
                         help="render a live cells-done/hits/misses/rate "
@@ -181,8 +200,17 @@ def main(argv: list[str] | None = None) -> int:
                          f"got {args.jobs!r}")
         if args.jobs < 1:
             parser.error("--jobs must be >= 1")
-    if args.files and args.artifact != "merge":
-        parser.error("extra positional arguments apply only to merge")
+    if args.files and args.artifact not in ("merge", "lint"):
+        parser.error("extra positional arguments apply only to merge "
+                     "and lint")
+    if args.artifact != "lint" and (args.rules or args.json or args.fix):
+        parser.error("--rules/--json/--fix apply only to lint")
+    if args.sanitize and args.artifact in ("table1", "table2", "table3",
+                                           "table4", "table5", "figure5",
+                                           "bench", "chaos", "cache",
+                                           "merge", "lint"):
+        parser.error("--sanitize applies to simulation-backed artifacts "
+                     "(figure3, figure4, claims, sweep, sensitivity)")
     if args.shard_index is not None:
         if args.artifact != "sweep":
             parser.error("--shard-index applies only to sweep")
@@ -225,6 +253,8 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace,
         except ValueError as exc:
             parser.error(str(exc))
         return 0
+    if args.artifact == "lint":
+        return _lint_command(parser, args)
     if args.artifact == "cache":
         return _cache_command(parser, args)
     if args.traces or args.results:
@@ -287,11 +317,18 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace,
                              cache_dir=args.cache_dir, progress=renderer,
                              deadline_s=args.deadline, retries=args.retries,
                              cache_max_bytes=args.cache_max_bytes,
-                             backend=args.backend, shards=args.shards or 4)
+                             backend=args.backend, shards=args.shards or 4,
+                             sanitize=args.sanitize)
     try:
         code = _render_artifact(parser, args, executor, selection)
         if renderer is not None:
             renderer.close()  # never interleave stats with a live line
+        if args.sanitize and code == 0:
+            # Any violation would have raised SanitizerError inside its
+            # cell and failed the run; reaching here means every checked
+            # invariant held.  Diagnostics go to stderr so artifact
+            # stdout stays byte-identical with and without --sanitize.
+            print("sanitize: 0 sanitizer findings", file=sys.stderr)
         if args.cache_stats:
             print(executor.stats.summary(), file=sys.stderr)
         if args.stats_json:
@@ -299,6 +336,34 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace,
         return code
     finally:
         executor.close()
+
+
+def _lint_command(parser: argparse.ArgumentParser,
+                  args: argparse.Namespace) -> int:
+    """``repro lint [paths...] [--rules LIST] [--json] [--fix]``."""
+    from pathlib import Path
+
+    from repro.analysis import run_lint
+
+    paths = [Path(p)
+             for p in ([args.workload] if args.workload else []) + args.files]
+    if not paths:
+        # Default target: the installed repro package itself (src layout
+        # or site-packages alike), so a bare ``repro lint`` self-hosts.
+        paths = [Path(__file__).resolve().parent]
+    for path in paths:
+        if not path.exists():
+            parser.error(f"lint path does not exist: {path}")
+    rules = None
+    if args.rules:
+        rules = [tok.strip() for tok in args.rules.split(",") if tok.strip()]
+    try:
+        result = run_lint(paths, rules=rules, as_json=args.json,
+                          fix=args.fix)
+    except KeyError as exc:
+        parser.error(str(exc))
+    print(result.output)
+    return result.exit_code
 
 
 def _write_stats_json(args: argparse.Namespace, stats) -> None:

@@ -1,0 +1,44 @@
+"""repro.analysis — the determinism & contract analyzer, and the sanitizer.
+
+Two halves:
+
+* ``repro lint`` (:func:`repro.analysis.cli.run_lint`) — a repo-specific
+  static analyzer.  Rule families: **D** (determinism: no entropy/clock/
+  environment reads, no set-iteration in the simulation core), **K**
+  (cache-key completeness of the scenario dataclasses), **S** (cache-
+  schema sync + hot-path ``__slots__``), **F** (fault-taxonomy discipline
+  for broad excepts and retry tuples).  The repo self-hosts: ``repro
+  lint`` runs clean over ``src/repro`` in CI.
+* ``Simulator(..., sanitize=True)``
+  (:class:`repro.analysis.sanitizer.PipelineSanitizer`) — a dynamic
+  microarchitectural sanitizer checking VRF/ROB/RAT/span invariants on
+  every uop event of either pipeline.
+
+Importing this package registers the built-in rules.  The sanitizer
+module deliberately has no dependencies on the rest of the package so the
+pipelines can import it lazily without pulling in the analyzer.
+"""
+
+from repro.analysis import (  # noqa: F401  (import-for-registration)
+    rules_determinism,
+    rules_keys,
+    rules_schema,
+    rules_taxonomy,
+)
+from repro.analysis.cli import LintResult, default_lint_paths, run_lint
+from repro.analysis.registry import all_rules, register_rule, rule_codes
+from repro.analysis.reporting import LINT_JSON_SCHEMA, Finding
+from repro.analysis.sanitizer import PipelineSanitizer, SanitizerError
+
+__all__ = [
+    "Finding",
+    "LINT_JSON_SCHEMA",
+    "LintResult",
+    "PipelineSanitizer",
+    "SanitizerError",
+    "all_rules",
+    "default_lint_paths",
+    "register_rule",
+    "rule_codes",
+    "run_lint",
+]

@@ -1,0 +1,121 @@
+"""Driver for ``repro lint``: rule selection, --fix, and report rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.registry import Rule, all_rules, get_rule
+from repro.analysis.reporting import Finding, render_json, render_text
+from repro.analysis.walker import SourceFile, load_source
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding]
+    files_checked: int
+    rules_run: List[str]
+    output: str
+    fixed: List[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+
+def default_lint_paths(repo_root: Path) -> List[Path]:
+    """What a bare ``repro lint`` analyzes: the whole ``repro`` package."""
+    return [repo_root / "src" / "repro"]
+
+
+def _collect(paths: Sequence[Path]) -> tuple:
+    """(sources, syntax_findings): unparsable files become E001 findings."""
+    files: List[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    seen = set()
+    sources: List[SourceFile] = []
+    broken: List[Finding] = []
+    for f in files:
+        resolved = f.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        try:
+            sources.append(load_source(f))
+        except SyntaxError as exc:
+            broken.append(Finding(str(f), exc.lineno or 1, "E001",
+                                  f"file does not parse: {exc.msg}"))
+    return sources, broken
+
+
+def _apply_fixes(sources: List[SourceFile],
+                 rules: Sequence[Rule]) -> tuple:
+    """Run each rule's fixer to a fixed point; returns (sources, fixed)."""
+    fixed: List[str] = []
+    fixers = [r.fixer for r in rules if r.fixer is not None]
+    out: List[SourceFile] = []
+    for src in sources:
+        current = src
+        changed = False
+        for fixer in fixers:
+            # A fixer returns the full rewritten text, or None when the
+            # file is already clean — which is also the idempotence test.
+            for _ in range(8):
+                new_text = fixer(current)
+                if new_text is None or new_text == current.text:
+                    break
+                current.path.write_text(new_text, encoding="utf-8")
+                current = load_source(current.path)
+                changed = True
+        if changed:
+            fixed.append(current.relpath)
+        out.append(current)
+    return out, fixed
+
+
+def run_lint(paths: Sequence[Path], *, rules: Optional[Sequence[str]] = None,
+             as_json: bool = False, fix: bool = False) -> LintResult:
+    """Run the analyzer over ``paths`` and render a report.
+
+    ``rules`` filters by code ("D001") or family prefix ("D"); None runs
+    everything.  With ``fix=True`` the fixable rules rewrite files in
+    place before checks run, so the report reflects the repaired tree.
+    """
+    if rules:
+        selected: List[Rule] = []
+        for want in rules:
+            if len(want) > 1 and want[1:].isdigit():
+                selected.append(get_rule(want))
+            else:
+                family = [r for r in all_rules()
+                          if r.code.startswith(want)]
+                if not family:
+                    raise KeyError(f"no lint rules in family {want!r}")
+                selected.extend(family)
+        # Stable order, dedupe repeats from overlapping selections.
+        chosen = sorted({r.code: r for r in selected}.values(),
+                        key=lambda r: r.code)
+    else:
+        chosen = all_rules()
+
+    sources, findings = _collect(paths)
+    fixed: List[str] = []
+    if fix:
+        sources, fixed = _apply_fixes(sources, chosen)
+    for rule in chosen:
+        findings.extend(rule.check(sources))
+
+    codes = [r.code for r in chosen]
+    render = render_json if as_json else render_text
+    output = render(findings, files_checked=len(sources),
+                    rules_run=codes, fixed=fixed if fix else None)
+    return LintResult(findings=sorted(findings), files_checked=len(sources),
+                      rules_run=codes, output=output, fixed=fixed)

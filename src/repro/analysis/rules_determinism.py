@@ -1,0 +1,154 @@
+"""D-rules: determinism contracts for the simulation core.
+
+The whole caching/equivalence story rests on simulation being a pure
+function of the scenario: same cell key, same stats, byte-identical
+stdout.  Two rule families guard that:
+
+* **D001** — no wall-clock, no entropy, no environment reads inside the
+  deterministic sub-packages (``repro.{sim,vpu,core,compiler,isa,scalar,
+  memory,power,workloads}``).  ``repro.faults`` seeds its own RNGs and
+  ``repro.experiments`` measures wall-clock on purpose; both are
+  allowlisted by scope, not by pragma.
+* **D002** — no direct iteration over ``set`` values in those packages.
+  Iteration order of a set is an implementation detail; anything that
+  flows from it (free-list order, output order, hash input) silently
+  couples results to the interpreter.  Dedupe with ``dict.fromkeys`` or
+  iterate ``sorted(...)`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.registry import register_rule
+from repro.analysis.reporting import Finding
+from repro.analysis.walker import SourceFile, dotted_name
+
+#: Modules whose import alone is a finding: everything they offer is a
+#: source of entropy.
+_FORBIDDEN_IMPORTS = frozenset({"random", "secrets"})
+
+#: Fully-qualified callables that read the clock, the environment or an
+#: entropy pool.
+_FORBIDDEN_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns",
+    "os.urandom", "os.getenv", "os.getenvb",
+    "uuid.uuid1", "uuid.uuid4",
+})
+
+#: ``datetime.now()`` / ``date.today()`` style calls, matched on the last
+#: two attribute components so both ``datetime.now`` and
+#: ``datetime.datetime.now`` forms are caught.
+_FORBIDDEN_TAILS = frozenset({
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+    ("date", "today"),
+})
+
+#: Attribute chains that are findings on *access*, not just call.
+_FORBIDDEN_ATTRS = frozenset({"os.environ"})
+
+
+def _is_seeded_default_rng(node: ast.Call) -> bool:
+    """``np.random.default_rng(seed)`` with an explicit argument is fine."""
+    return bool(node.args or node.keywords)
+
+
+def _iter_d001(src: SourceFile) -> Iterable[Finding]:
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _FORBIDDEN_IMPORTS:
+                    yield Finding(
+                        src.relpath, node.lineno, "D001",
+                        f"import of entropy module {alias.name!r} in "
+                        f"deterministic code")
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".")[0]
+            if root in _FORBIDDEN_IMPORTS:
+                yield Finding(
+                    src.relpath, node.lineno, "D001",
+                    f"import from entropy module {node.module!r} in "
+                    f"deterministic code")
+        elif isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            tail = tuple(parts[-2:])
+            if name in _FORBIDDEN_CALLS:
+                yield Finding(
+                    src.relpath, node.lineno, "D001",
+                    f"call to {name}() in deterministic code")
+            elif len(parts) >= 2 and tail in _FORBIDDEN_TAILS and not (
+                    node.args or node.keywords):
+                yield Finding(
+                    src.relpath, node.lineno, "D001",
+                    f"argless {name}() reads the wall clock")
+            elif len(parts) >= 2 and parts[-2] == "random" and \
+                    parts[0] in ("np", "numpy"):
+                if parts[-1] != "default_rng" or \
+                        not _is_seeded_default_rng(node):
+                    yield Finding(
+                        src.relpath, node.lineno, "D001",
+                        f"{name}() draws from unseeded global entropy; "
+                        f"thread an explicitly seeded Generator instead")
+        elif isinstance(node, ast.Attribute):
+            name = dotted_name(node)
+            if name in _FORBIDDEN_ATTRS:
+                yield Finding(
+                    src.relpath, node.lineno, "D001",
+                    f"{name} access in deterministic code; configuration "
+                    f"must flow through the Scenario")
+
+
+@register_rule("D001", name="no-entropy",
+               summary="no clock/entropy/environment reads in the "
+                       "deterministic sub-packages")
+def check_no_entropy(sources: List[SourceFile]) -> Iterable[Finding]:
+    for src in sources:
+        if not src.deterministic_scope:
+            continue
+        yield from _iter_d001(src)
+
+
+def _set_valued(node: ast.AST) -> bool:
+    """True when ``node`` evaluates to a bare set (literal or set() call)."""
+    if isinstance(node, ast.Set):
+        return True
+    if isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in ("set", "frozenset")
+    return False
+
+
+def _iter_d002(src: SourceFile) -> Iterable[Finding]:
+    for node in ast.walk(src.tree):
+        iters: List[ast.AST] = []
+        if isinstance(node, ast.For):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                               ast.DictComp)):
+            iters.extend(gen.iter for gen in node.generators)
+        for it in iters:
+            if _set_valued(it):
+                yield Finding(
+                    src.relpath, it.lineno, "D002",
+                    "iteration over a set has interpreter-defined order; "
+                    "use dict.fromkeys(...) to dedupe or sorted(...) to "
+                    "order")
+
+
+@register_rule("D002", name="no-set-iteration",
+               summary="no direct iteration over set values in the "
+                       "deterministic sub-packages")
+def check_no_set_iteration(sources: List[SourceFile]) -> Iterable[Finding]:
+    for src in sources:
+        if not src.deterministic_scope:
+            continue
+        yield from _iter_d002(src)

@@ -195,7 +195,10 @@ def allocate(trace: Sequence[Instruction], n_regs: int, mvl: int,
         # Sources (and write-once dead destinations) past their last use
         # release their registers immediately, like a compiler's live-range
         # end — pressure tracks MAXLIVE exactly.
-        for src in set(inst.srcs):
+        # sorted, not bare set iteration: dedupe then release in register
+        # order, so the free-list order downstream is a property of the
+        # program, not of the interpreter's set layout.
+        for src in sorted(set(inst.srcs)):
             release_if_dead(src, pos + 1)
         if inst.dst is not None:
             release_if_dead(inst.dst, pos + 1)

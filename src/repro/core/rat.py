@@ -20,7 +20,8 @@ from typing import Deque, List, Optional
 class RenameTable:
     """RAT + FRL over ``n_vvr`` virtual vector registers."""
 
-    __slots__ = ("n_logical", "n_vvr", "_rat", "_frl", "_retirement_rat")
+    __slots__ = ("n_logical", "n_vvr", "_rat", "_frl", "_retirement_rat",
+                 "sanitizer")
 
     def __init__(self, n_logical: int, n_vvr: int) -> None:
         if n_vvr < n_logical:
@@ -31,6 +32,8 @@ class RenameTable:
         self._rat: List[int] = list(range(n_logical))
         self._frl: Deque[int] = deque(range(n_logical, n_vvr))
         self._retirement_rat: List[int] = list(self._rat)
+        #: Optional sanitizer probe; destination renames report through it.
+        self.sanitizer = None
 
     # -- queries ---------------------------------------------------------------
     @property
@@ -63,6 +66,8 @@ class RenameTable:
         old = self._rat[logical]
         new = self._frl.popleft()
         self._rat[logical] = new
+        if self.sanitizer is not None:
+            self.sanitizer.on_rename()
         return new, old
 
     # -- commit / recovery ---------------------------------------------------------

@@ -18,7 +18,8 @@ from repro.core.uop import MicroOp, UopState
 class ReorderBuffer:
     """Bounded in-order retirement queue."""
 
-    __slots__ = ("capacity", "commit_width", "_entries", "total_committed")
+    __slots__ = ("capacity", "commit_width", "_entries", "total_committed",
+                 "sanitizer")
 
     def __init__(self, capacity: int = 64, commit_width: int = 2) -> None:
         if capacity < 1:
@@ -27,6 +28,8 @@ class ReorderBuffer:
         self.commit_width = commit_width
         self._entries: Deque[MicroOp] = deque()
         self.total_committed = 0
+        #: Optional sanitizer probe; retire() reports commits through it.
+        self.sanitizer = None
 
     @property
     def full(self) -> bool:
@@ -59,6 +62,8 @@ class ReorderBuffer:
         head = self._entries.popleft()
         if head is not uop:
             raise RuntimeError("out-of-order retire attempted")
+        if self.sanitizer is not None:
+            self.sanitizer.on_commit(uop)
         uop.state = UopState.COMMITTED
         uop.committed_at = now
         self.total_committed += 1

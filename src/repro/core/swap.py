@@ -20,7 +20,7 @@ paper's RAC-guided choice against FIFO and round-robin eviction.
 from __future__ import annotations
 
 import enum
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Container, Iterable, Optional, Sequence
 
 from repro.core.rac import RegisterAccessCounters
 from repro.core.vrf import TwoLevelVRF
@@ -79,9 +79,10 @@ class SwapLogic:
 
     # -- victim selection --------------------------------------------------------------
     def select_victim(self, excluded: Sequence[int],
-                      has_queued_reader=None,
-                      rat_live=None,
-                      is_clean=None) -> Optional[int]:
+                      has_queued_reader: Optional[Callable[[int], bool]] = None,
+                      rat_live: Optional[Container[int]] = None,
+                      is_clean: Optional[Callable[[int], bool]] = None,
+                      ) -> Optional[int]:
         """The VVR to Swap-Store, or None if no legal candidate exists.
 
         ``excluded`` must contain the current instruction's source and

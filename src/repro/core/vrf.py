@@ -50,6 +50,8 @@ class TwoLevelVRF:
         self.mvrf_reads = 0
         self.mvrf_writes = 0
         self._retired_valid: List[bool] = [True] * n_vvr
+        #: Optional sanitizer probe; swap data movement reports through it.
+        self.sanitizer = None
 
     # -- valid bits -----------------------------------------------------------
     def is_valid(self, vvr: int) -> bool:
@@ -71,8 +73,13 @@ class TwoLevelVRF:
         self._valid = list(self._retired_valid)
 
     # -- functional value transport ---------------------------------------------
-    def write_preg(self, preg: int, value: np.ndarray, vl: int) -> None:
-        """Write ``vl`` elements into a physical register."""
+    def write_preg(self, preg: int, value: Optional[np.ndarray],
+                   vl: int) -> None:
+        """Write ``vl`` elements into a physical register.
+
+        ``value`` may be None in counters-only mode, where only the write
+        energy/port accounting matters and no data is transported.
+        """
         self.pvrf_writes += vl
         if not self.functional:
             return
@@ -115,6 +122,8 @@ class TwoLevelVRF:
         self.pvrf_reads += self.mvl
         self.mvrf_writes += self.mvl
         self._mvrf_valid.add(vvr)
+        if self.sanitizer is not None:
+            self.sanitizer.on_swap_out(vvr, preg)
         if not self.functional:
             return
         buf = self._pvrf.get(preg)
@@ -125,6 +134,8 @@ class TwoLevelVRF:
         """Swap-Load data movement: M-VRF slot of ``vvr`` -> P-reg."""
         self.mvrf_reads += self.mvl
         self.pvrf_writes += self.mvl
+        if self.sanitizer is not None:
+            self.sanitizer.on_swap_in(vvr, preg)
         if not self.functional:
             return
         data = self._mvrf.get(vvr)

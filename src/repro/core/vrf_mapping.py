@@ -23,7 +23,7 @@ class VRFMapping:
     """PRMT + VRLT + PFRL over ``n_vvr`` VVRs and ``n_physical`` P-regs."""
 
     __slots__ = ("n_vvr", "n_physical", "vvr_version", "stamp", "_prmt",
-                 "_vrlt", "_pfrl", "_owner", "_in_mvrf")
+                 "_vrlt", "_pfrl", "_owner", "_in_mvrf", "sanitizer")
 
     def __init__(self, n_vvr: int, n_physical: int) -> None:
         if n_physical < 1:
@@ -53,6 +53,9 @@ class VRFMapping:
         # mapping at all"; the hardware knows the difference because only
         # evicted VVRs have M-VRF contents.  Track it explicitly.
         self._in_mvrf: List[bool] = [False] * n_vvr
+        #: Optional :class:`~repro.analysis.sanitizer.PipelineSanitizer`
+        #: probe; every residency transition reports through it when set.
+        self.sanitizer = None
 
     # -- queries -----------------------------------------------------------------
     @property
@@ -94,6 +97,8 @@ class VRFMapping:
         self._owner[preg] = vvr
         self.vvr_version[vvr] += 1
         self.stamp += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_map_alloc(vvr, preg)
         return preg
 
     def evict(self, vvr: int) -> int:
@@ -106,6 +111,8 @@ class VRFMapping:
         self._pfrl.append(preg)
         self.vvr_version[vvr] += 1
         self.stamp += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_map_evict(vvr, preg)
         return preg
 
     def release(self, vvr: int) -> Optional[int]:
@@ -119,9 +126,13 @@ class VRFMapping:
             self._in_mvrf[vvr] = False
             self.vvr_version[vvr] += 1
             self.stamp += 1
+            if self.sanitizer is not None:
+                self.sanitizer.on_map_release(vvr, None)
             return None
         preg = self.evict(vvr)
         self._in_mvrf[vvr] = False
+        if self.sanitizer is not None:
+            self.sanitizer.on_map_release(vvr, preg)
         return preg
 
     def invariant_check(self) -> None:

@@ -39,7 +39,7 @@ import sys
 import time
 import traceback
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
 from typing import (Callable, Dict, List, Optional, Sequence, TextIO,
                     Tuple, Union)
@@ -107,6 +107,10 @@ class Cell:
     functional: bool = False
     warm: bool = True
     check: bool = False
+    # Run under the microarchitectural sanitizer.  Part of the cache key:
+    # a sanitized run must prove the invariants held for *this* cell, not
+    # inherit a result computed without them.
+    sanitize: bool = False
 
     @property
     def workload_name(self) -> str:
@@ -335,6 +339,10 @@ def cell_key(cell: Cell, program: Program) -> str:
         "functional": cell.functional or cell.check,
         "warm": cell.warm,
         "check": cell.check,
+        # Sanitized runs re-simulate even when a plain result is cached:
+        # the point of --sanitize is the invariant evidence, and a cache
+        # hit computed without the sanitizer proves nothing.
+        "sanitize": cell.sanitize,
         "program": program_fingerprint(program),
     }
     return hashlib.sha256(
@@ -457,13 +465,15 @@ def _run_cell(job: Union[Tuple[Cell, Union[Program, TraceRef]],
         if payload is not None:
             try:
                 sim = Simulator.from_trace(cell.scenario(), payload,
-                                           functional=functional)
+                                           functional=functional,
+                                           sanitize=cell.sanitize)
             except Exception:  # noqa: BLE001 — damaged entry reads as miss
                 sim = None
         if sim is None:
             source = workload.compile(cell.config).program
     if sim is None:
-        sim = Simulator(cell.scenario(), source, functional=functional)
+        sim = Simulator(cell.scenario(), source, functional=functional,
+                        sanitize=cell.sanitize)
     rng = np.random.default_rng(DATA_SEED)
     data = workload.init_data(rng)
     if functional:
@@ -796,7 +806,8 @@ class CellExecutor:
                  deadline_s: Optional[float] = None,
                  retries: int = 3,
                  backoff_s: float = 0.25,
-                 backend: Optional[ExecutionBackend] = None) -> None:
+                 backend: Optional[ExecutionBackend] = None,
+                 sanitize: bool = False) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if deadline_s is not None and deadline_s <= 0:
@@ -811,6 +822,9 @@ class CellExecutor:
         self.deadline_s = deadline_s
         self.retries = retries
         self.backoff_s = backoff_s
+        #: Force every cell through the microarchitectural sanitizer
+        #: (``repro ... --sanitize``); cells already marked stay marked.
+        self.sanitize = sanitize
         self.stats = ExecutorStats()
         if backend is None:
             # The historical --jobs contract: inline at 1, a pool above.
@@ -866,6 +880,9 @@ class CellExecutor:
         if errors not in ("raise", "return"):
             raise ValueError(f"errors must be 'raise' or 'return', "
                              f"got {errors!r}")
+        if self.sanitize:
+            cells = [cell if cell.sanitize else replace(cell, sanitize=True)
+                     for cell in cells]
         self.stats.cells_requested += len(cells)
         # One compile per distinct (workload, signature) pair: the program
         # feeds both the cache key and (for misses) the simulation itself.
@@ -1176,7 +1193,8 @@ def make_executor(jobs: int = 1, cache: bool = False,
                   backoff_s: float = 0.25,
                   cache_max_bytes: Optional[int] = None,
                   backend: Union[str, ExecutionBackend, None] = None,
-                  shards: int = 4
+                  shards: int = 4,
+                  sanitize: bool = False
                   ) -> CellExecutor:
     """Build an executor from the CLI-style knobs (--jobs / --no-cache /
     --cache-dir / --progress / --deadline / --retries / --cache-max-bytes
@@ -1202,4 +1220,4 @@ def make_executor(jobs: int = 1, cache: bool = False,
                         else None,
                         progress=progress, deadline_s=deadline_s,
                         retries=retries, backoff_s=backoff_s,
-                        backend=backend)
+                        backend=backend, sanitize=sanitize)

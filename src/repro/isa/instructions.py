@@ -41,7 +41,7 @@ _DERIVED_BY_OP: dict = {}
 
 
 @dataclass(frozen=True)
-class Instruction:
+class Instruction:  # lint: slots-exempt(derived-attribute cache installs via __dict__.update)
     """One vector (or scalar-overhead) instruction.
 
     Attributes:

@@ -23,7 +23,7 @@ spec files and inside the result cache's content-addressed keys.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 from repro.core.config import MachineConfig, MachineMode, get_machine
 from repro.core.swap import VictimPolicy
@@ -55,7 +55,8 @@ class CellPolicy:
                        data["aggressive_reclamation"]))
 
 
-def _scalars_to_dict(obj) -> dict:
+def _scalars_to_dict(obj: Any) -> dict:
+    """Flatten any scalar-field dataclass (config axes) for the cache key."""
     return {f.name: getattr(obj, f.name) for f in fields(obj)}
 
 

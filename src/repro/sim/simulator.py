@@ -54,22 +54,26 @@ class Simulator:
                  functional: bool = False,
                  memsys: Optional[MemorySystem] = None,
                  victim_policy: VictimPolicy = VictimPolicy.RAC_MIN,
-                 aggressive_reclamation: bool = True) -> None:
+                 aggressive_reclamation: bool = True,
+                 sanitize: bool = False) -> None:
         self.config = (config.machine if isinstance(config, Scenario)
                        else config)
         self.program = program
         self.functional = functional
         # The pipeline owns the only scenario-vs-loose-kwargs guard:
         # forwarding everything keeps a single source of truth for the
-        # "not both" rule.
+        # "not both" rule.  ``sanitize`` is debug instrumentation, not a
+        # machine axis, so it composes with a Scenario freely.
         self.pipeline = VectorPipeline(
             config, program, params=params, memsys=memsys,
             functional=functional, victim_policy=victim_policy,
-            aggressive_reclamation=aggressive_reclamation)
+            aggressive_reclamation=aggressive_reclamation,
+            sanitize=sanitize)
 
     @classmethod
     def from_trace(cls, config: "MachineConfig | Scenario", trace: dict,
-                   functional: bool = False) -> "Simulator":
+                   functional: bool = False,
+                   sanitize: bool = False) -> "Simulator":
         """Replay entry for stored compiled traces.
 
         ``trace`` is a :class:`repro.compiler.store.TraceStore` payload;
@@ -79,7 +83,7 @@ class Simulator:
         and replaying must stay much cheaper than recompiling.
         """
         return cls(config, Program.from_dict(trace["program"]),
-                   functional=functional)
+                   functional=functional, sanitize=sanitize)
 
     def set_data(self, name: str, values: np.ndarray) -> None:
         """Initialise an application buffer (functional mode only)."""

@@ -95,7 +95,8 @@ class VectorPipeline:
                  memsys: Optional[MemorySystem] = None,
                  functional: bool = False,
                  victim_policy: VictimPolicy = VictimPolicy.RAC_MIN,
-                 aggressive_reclamation: bool = True) -> None:
+                 aggressive_reclamation: bool = True,
+                 sanitize: bool = False) -> None:
         """``config`` is a :class:`MachineConfig` or a full
         :class:`~repro.sim.scenario.Scenario` (which pins every other
         machine-side argument)."""
@@ -223,6 +224,25 @@ class VectorPipeline:
         self.now = 0
         self.stats = SimStats(config_name=config.name,
                               program_name=program.name)
+
+        # Microarchitectural sanitizer (None in normal runs: every hook
+        # site is a single attribute test).
+        self._san = None
+        if sanitize:
+            self._install_sanitizer()
+
+    def _install_sanitizer(self) -> None:
+        # Imported lazily: the sanitizer is debug tooling, not a simulation
+        # dependency.
+        from repro.analysis.sanitizer import PipelineSanitizer
+        san = PipelineSanitizer(label=f"{self.config.name}/"
+                                      f"{self.program.name}")
+        san.bind(lambda: self.now, rat=self.rat, mapping=self.mapping)
+        self.mapping.sanitizer = san
+        self.vrf.sanitizer = san
+        self.rob.sanitizer = san
+        self.rat.sanitizer = san
+        self._san = san
 
     # ------------------------------------------------------------------ utils
     def _next_seq(self) -> int:
@@ -397,6 +417,8 @@ class VectorPipeline:
         stats.rename_rob_stalls += rob_stalls
         stats.rename_frl_stalls += frl_stalls
         self._harvest()
+        if self._san is not None:
+            self._san.on_run_end(self.stats)
         return self.stats
 
     def _fast_forward(self) -> None:
@@ -449,6 +471,8 @@ class VectorPipeline:
         stats.spans_charged += 1
         stats.span_cycles += target - now + 1
         self.now = target
+        if self._san is not None:
+            self._san.on_span(stats)
 
     def _ready_wake(self, uop: MicroOp) -> Optional[float]:
         """Memoized :meth:`_head_wait_time`: earliest readiness timestamp.
@@ -595,6 +619,8 @@ class VectorPipeline:
                 break
             # Inlined ReorderBuffer.retire (the popped entry is the head
             # just examined, so the out-of-order check cannot fire).
+            if self._san is not None:
+                self._san.on_commit(head)
             entries.popleft()
             head.state = UopState.COMMITTED
             head.committed_at = now
@@ -1080,6 +1106,8 @@ class VectorPipeline:
     def _execute_arith(self, uop: MicroOp) -> None:
         inst = uop.inst
         assert uop.dst_preg is not None
+        if self._san is not None:
+            self._san.on_execute(uop)
         if not self.functional:
             # Counters only (identical to read_preg per source plus one
             # write_preg, without the per-call overhead).
@@ -1103,6 +1131,8 @@ class VectorPipeline:
                 # waited in the queue (its readers all committed and the
                 # register was reclaimed); the slot now belongs to a newer
                 # generation and must not be overwritten.
+                if self._san is not None:
+                    self._san.on_swap_squashed(uop.src_pregs[0])
                 return
             self.vrf.swap_out(victim, uop.src_pregs[0])
         else:
@@ -1116,6 +1146,8 @@ class VectorPipeline:
         inst = uop.inst
         mem = inst.mem
         assert mem is not None
+        if self._san is not None:
+            self._san.on_execute(uop)
         if not self.functional:
             # Counters only, mirroring the functional path's VRF traffic.
             vrf = self.vrf
@@ -1227,6 +1259,10 @@ class VectorPipeline:
                 self._count_preissue_stall(outcome)
                 return False
             preg = mapping.allocate(vvr)
+            if self._san is not None:
+                # Reading the reset state of a never-defined source is
+                # legal, not a read-before-write.
+                self._san.on_reset_alloc(preg)
             self._attach_write_guards(None, preg)  # drop stale guards
             self.swap_logic.note_allocation(vvr)
 
@@ -1304,6 +1340,8 @@ class VectorPipeline:
                       src_vvrs=(victim,), src_pregs=(preg,),
                       renamed_at=self.now, pre_issued_at=self.now,
                       priority=front, swap_gen=self.vrf.generation(victim))
+        if self._san is not None:
+            self._san.on_swap_store_emitted(preg)
         self.mapping.evict(victim)
         self.swap_logic.note_release(victim)
         self._pending_store_guard[preg] = uop
@@ -1416,6 +1454,8 @@ class VectorPipeline:
             old_vvr = rat_map[inst.dst]
             dst_vvr = rat._frl.popleft()
             rat_map[inst.dst] = dst_vvr
+            if self._san is not None:
+                self._san.on_rename()
             if not saturated[dst_vvr]:
                 if counts[dst_vvr] >= RAC_MAX:
                     saturated[dst_vvr] = True

@@ -79,7 +79,8 @@ class ReferencePipeline:
                  memsys: Optional[MemorySystem] = None,
                  functional: bool = False,
                  victim_policy: VictimPolicy = VictimPolicy.RAC_MIN,
-                 aggressive_reclamation: bool = True) -> None:
+                 aggressive_reclamation: bool = True,
+                 sanitize: bool = False) -> None:
         program.validate(config.n_logical)
         self.config = config
         self.program = program
@@ -138,6 +139,24 @@ class ReferencePipeline:
         self.stats = SimStats(config_name=config.name,
                               program_name=program.name)
 
+        # Microarchitectural sanitizer (None in normal runs); same probe
+        # protocol as the event-driven pipeline, so an invariant violation
+        # reproduces identically on both implementations.
+        self._san = None
+        if sanitize:
+            self._install_sanitizer()
+
+    def _install_sanitizer(self) -> None:
+        from repro.analysis.sanitizer import PipelineSanitizer
+        san = PipelineSanitizer(label=f"{self.config.name}/"
+                                      f"{self.program.name} (reference)")
+        san.bind(lambda: self.now, rat=self.rat, mapping=self.mapping)
+        self.mapping.sanitizer = san
+        self.vrf.sanitizer = san
+        self.rob.sanitizer = san
+        self.rat.sanitizer = san
+        self._san = san
+
     # ------------------------------------------------------------------ utils
     def _next_seq(self) -> int:
         self._seq += 1
@@ -168,6 +187,8 @@ class ReferencePipeline:
             else:
                 self._fast_forward()
         self._harvest()
+        if self._san is not None:
+            self._san.on_run_end(self.stats)
         return self.stats
 
     def _step(self) -> bool:
@@ -213,6 +234,8 @@ class ReferencePipeline:
         self.stats.spans_charged += 1
         self.stats.span_cycles += target - self.now + 1
         self.now = target
+        if self._san is not None:
+            self._san.on_span(self.stats)
 
     def _head_wait_time(self, uop: MicroOp) -> Optional[float]:
         """Earliest cycle the queue head could become ready, if timestamped."""
@@ -536,6 +559,8 @@ class ReferencePipeline:
     # ------------------------------------------------------------------ execute
     def _execute_arith(self, uop: MicroOp) -> None:
         inst = uop.inst
+        if self._san is not None:
+            self._san.on_execute(uop)
         values = [self.vrf.read_preg(p, inst.vl) for p in uop.src_pregs]
         assert uop.dst_preg is not None
         if self.functional:
@@ -552,6 +577,8 @@ class ReferencePipeline:
                 # waited in the queue (its readers all committed and the
                 # register was reclaimed); the slot now belongs to a newer
                 # generation and must not be overwritten.
+                if self._san is not None:
+                    self._san.on_swap_squashed(uop.src_pregs[0])
                 return
             self.vrf.swap_out(victim, uop.src_pregs[0])
         else:
@@ -565,6 +592,8 @@ class ReferencePipeline:
         inst = uop.inst
         mem = inst.mem
         assert mem is not None
+        if self._san is not None:
+            self._san.on_execute(uop)
         if inst.is_load:
             assert uop.dst_preg is not None
             if self.functional:
@@ -633,6 +662,10 @@ class ReferencePipeline:
                 self._count_preissue_stall(outcome)
                 return False
             preg = self.mapping.allocate(vvr)
+            if self._san is not None:
+                # Reading the reset state of a never-defined source is
+                # legal, not a read-before-write.
+                self._san.on_reset_alloc(preg)
             self._attach_write_guards(None, preg)  # drop stale guards
             self.swap_logic.note_allocation(vvr)
 
@@ -697,6 +730,8 @@ class ReferencePipeline:
                       src_vvrs=(victim,), src_pregs=(preg,),
                       renamed_at=self.now, pre_issued_at=self.now,
                       priority=front, swap_gen=self.vrf.generation(victim))
+        if self._san is not None:
+            self._san.on_swap_store_emitted(preg)
         self.mapping.evict(victim)
         self.swap_logic.note_release(victim)
         self._pending_store_guard[preg] = uop

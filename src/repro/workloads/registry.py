@@ -35,6 +35,7 @@ Two views of the suite are exported:
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, List, Optional, Type, Union, overload
 
 from repro.workloads.base import Workload
@@ -115,14 +116,23 @@ def discover_workloads(group: str = ENTRY_POINT_GROUP, *,
             selected = entry_points.select(group=group)
         else:  # pragma: no cover - legacy dict API
             selected = entry_points.get(group, ())
-    except Exception:
+    except Exception as exc:  # noqa: BLE001 — malformed dist metadata raises arbitrarily; discovery is best-effort
+        warnings.warn(
+            f"workload entry-point discovery failed "
+            f"({type(exc).__name__}: {exc}); third-party workloads "
+            f"unavailable this process", RuntimeWarning, stacklevel=2)
         return []
     loaded: List[str] = []
     for entry in selected:
         try:
             obj = entry.load()
             register_workload(obj, name=entry.name)
-        except Exception:
+        except Exception as exc:  # noqa: BLE001 — entry.load() runs arbitrary plugin import code; one broken plugin must not sink the suite
+            warnings.warn(
+                f"skipping workload entry point {entry.name!r} "
+                f"({getattr(entry, 'value', '?')}): "
+                f"{type(exc).__name__}: {exc}",
+                RuntimeWarning, stacklevel=2)
             continue
         loaded.append(entry.name)
     return loaded

@@ -1,0 +1,19 @@
+"""D001 bad fixture: every category of entropy read the rule catches."""
+import random  # noqa: F401  (line 2: entropy import)
+
+import numpy as np
+import os
+import time
+import uuid
+from datetime import datetime
+
+
+def stamp_cell():
+    started = time.time()  # line 12: clock read
+    token = uuid.uuid4()  # line 13: entropy pool
+    noise = np.random.random()  # line 14: unseeded global RNG
+    rng = np.random.default_rng()  # line 15: default_rng without a seed
+    home = os.getenv("HOME")  # line 16: environment read
+    when = datetime.now()  # line 17: argless wall-clock
+    tag = os.environ["USER"]  # line 18: environ access
+    return started, token, noise, rng, home, when, tag

@@ -1,0 +1,9 @@
+"""D001 good fixture: deterministic twins of everything the bad file does."""
+import numpy as np
+
+
+def stamp_cell(seed: int, now_cycle: int, home: str):
+    rng = np.random.default_rng(seed)  # seeded Generator: allowed
+    noise = rng.random()  # drawn from the threaded Generator, not the global
+    when = now_cycle  # simulated time flows from the pipeline clock
+    return noise, when, home

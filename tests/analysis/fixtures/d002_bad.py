@@ -1,0 +1,10 @@
+"""D002 bad fixture: set iteration in every syntactic position."""
+
+
+def release_registers(srcs, live):
+    for reg in {s for s in srcs}:  # line 5: set-comprehension iteration
+        live.discard(reg)
+    for reg in set(srcs):  # line 7: set() call iteration
+        live.discard(reg)
+    order = [reg for reg in frozenset(srcs)]  # line 9: frozenset in a comp
+    return order

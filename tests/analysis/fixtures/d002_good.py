@@ -1,0 +1,10 @@
+"""D002 good fixture: order-stable dedupe and explicit sorting."""
+
+
+def release_registers(srcs, live):
+    for reg in dict.fromkeys(srcs):  # operand-order dedupe
+        live.discard(reg)
+    for reg in sorted(set(srcs)):  # materialised order before iteration
+        live.discard(reg)
+    seen = set(srcs)  # building a set is fine; only iteration is the hazard
+    return seen

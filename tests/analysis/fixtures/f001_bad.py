@@ -1,0 +1,15 @@
+"""F001 bad fixture: swallowing broad excepts, unjustified or unreasoned."""
+
+
+def swallow_everything(action):
+    try:
+        return action()
+    except Exception:  # line 7: no justification at all
+        return None
+
+
+def empty_reason(action):
+    try:
+        return action()
+    except Exception:  # noqa: BLE001 —
+        return None

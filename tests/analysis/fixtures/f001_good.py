@@ -1,0 +1,23 @@
+"""F001 good fixture: every broad handler is justified or re-raises."""
+
+
+def justified(action):
+    try:
+        return action()
+    except Exception:  # noqa: BLE001 — plugin code raises arbitrarily; one bad plugin must not sink the run
+        return None
+
+
+def cleanup_guard(action, undo):
+    try:
+        return action()
+    except BaseException:
+        undo()
+        raise  # re-raising handlers swallow nothing: exempt by construction
+
+
+def narrow(action):
+    try:
+        return action()
+    except (ValueError, KeyError):
+        return None

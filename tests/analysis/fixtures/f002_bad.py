@@ -1,0 +1,7 @@
+"""F002 bad fixture: a simulation bug smuggled into the retry tuple."""
+
+_RETRYABLE_EXCEPTIONS = (
+    OSError,
+    ValueError,  # line 5: retrying a simulation bug masks nondeterminism
+    TimeoutError,
+)

@@ -1,0 +1,12 @@
+"""F002 good fixture: the retry tuple stays inside the fault taxonomy."""
+from repro import faults
+
+_RETRYABLE_EXCEPTIONS = (
+    faults.TransientFaultError,
+    OSError,
+    TimeoutError,
+    ConnectionError,
+)
+
+#: Not a retry tuple: names without RETRYABLE in them are out of scope.
+_INTERESTING = (ValueError, KeyError)

@@ -1,0 +1,10 @@
+"""K001 bad fixture: a cache-key dataclass grows a field the serializer
+never learned about — the classic silent cache collision."""
+from dataclasses import dataclass
+
+
+@dataclass
+class CellPolicy:
+    victim_policy: str = "rac_min"
+    aggressive_reclamation: bool = True
+    bogus_new_axis: int = 0  # line 10: never serialized, never hashed

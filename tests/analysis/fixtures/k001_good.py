@@ -1,0 +1,9 @@
+"""K001 good fixture: every field reaches the payload or is exempted."""
+from dataclasses import dataclass
+
+
+@dataclass
+class CellPolicy:
+    victim_policy: str = "rac_min"  # present in the real key payload
+    aggressive_reclamation: bool = True  # present in the real key payload
+    debug_trace: bool = False  # lint: key-exempt(observability only; cannot change any statistic)

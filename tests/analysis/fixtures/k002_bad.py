@@ -1,0 +1,13 @@
+"""K002 bad fixture: a hand-written from_dict drops a declared field, so
+deserialized instances silently fall back to the default."""
+from dataclasses import dataclass
+
+
+@dataclass
+class CellPolicy:
+    victim_policy: str = "rac_min"
+    aggressive_reclamation: bool = True  # line 9: never restored below
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(victim_policy=data["victim_policy"])

@@ -1,0 +1,13 @@
+"""K002 good fixture: the hand-written from_dict restores every field."""
+from dataclasses import dataclass
+
+
+@dataclass
+class CellPolicy:
+    victim_policy: str = "rac_min"
+    aggressive_reclamation: bool = True
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(victim_policy=data["victim_policy"],
+                   aggressive_reclamation=bool(data["aggressive_reclamation"]))

@@ -1,0 +1,11 @@
+"""S001 bad fixture, second failure mode: the author bumped CACHE_SCHEMA
+for a SimStats shape change but forgot to regenerate the schema lock."""
+from dataclasses import dataclass
+
+CACHE_SCHEMA = 99
+
+
+@dataclass
+class SimStats:
+    cycles: int = 0
+    completely_new_counter: int = 0

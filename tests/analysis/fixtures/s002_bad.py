@@ -1,0 +1,14 @@
+"""S002 bad fixture: a hot-path registry class carrying a __dict__.
+
+Also the --fix corpus: the fixer must derive the slot tuple from the
+``self.X = ...`` assignments in ``__init__`` (docstring preserved).
+"""
+
+
+class MicroOp:
+    """One in-flight micro-operation (fixture twin of the real one)."""
+
+    def __init__(self, inst, rob_index):
+        self.inst = inst
+        self.rob_index = rob_index
+        self.done_at = -1

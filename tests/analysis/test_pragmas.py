@@ -1,0 +1,45 @@
+"""Pragma parsing round-trips: every exemption form the rules honour."""
+
+import pytest
+
+from repro.analysis.pragmas import (KEY_EXEMPT, SLOTS_EXEMPT,
+                                    ble_justification, has_pragma,
+                                    lint_pragma)
+
+
+@pytest.mark.parametrize("line,kind,why", [
+    ("x: int = 0  # lint: key-exempt(observability only)",
+     KEY_EXEMPT, "observability only"),
+    ("class C:  # lint: slots-exempt(shared derived-attribute cache)",
+     SLOTS_EXEMPT, "shared derived-attribute cache"),
+    ("y = 1  #lint:key-exempt( padded why )", KEY_EXEMPT, "padded why"),
+])
+def test_lint_pragma_parses(line, kind, why):
+    parsed = lint_pragma(line)
+    assert parsed == {"kind": kind, "why": why}
+    assert has_pragma(line, kind)
+
+
+def test_unjustified_pragma_is_not_honoured():
+    line = "x: int = 0  # lint: key-exempt()"
+    assert lint_pragma(line) == {"kind": KEY_EXEMPT, "why": ""}
+    assert not has_pragma(line, KEY_EXEMPT)  # empty why never exempts
+
+
+def test_pragma_kind_must_match():
+    line = "x: int = 0  # lint: key-exempt(real reason)"
+    assert has_pragma(line, KEY_EXEMPT)
+    assert not has_pragma(line, SLOTS_EXEMPT)
+    assert lint_pragma("x = 1  # just a comment") is None
+
+
+@pytest.mark.parametrize("line,expected", [
+    ("except Exception:  # noqa: BLE001 — plugin code", "plugin code"),
+    ("except Exception:  # noqa: BLE001 - ascii dash too", "ascii dash too"),
+    ("except Exception:  # noqa: BLE001 —", ""),
+    ("except Exception:  # noqa: BLE001", ""),
+    ("except Exception:", None),
+    ("except ValueError:  # noqa: F401", None),
+])
+def test_ble_justification(line, expected):
+    assert ble_justification(line) == expected

@@ -1,0 +1,81 @@
+"""The sanitizer's acceptance gate: the full equivalence grid runs under
+``sanitize=True`` on BOTH pipeline implementations with zero findings, and
+the instrumentation is observationally invisible (identical stats)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import ava_config, native_config
+from repro.vpu.pipeline import VectorPipeline
+from repro.vpu.reference import ReferencePipeline
+from repro.workloads.registry import ALL_WORKLOAD_NAMES, get_workload
+
+#: Same grid as tests/vpu/test_pipeline_equivalence.py.
+CONFIGS = [native_config(2), ava_config(2), ava_config(8)]
+SMALL_N = 512
+
+
+def _compile_small(name, config):
+    workload = get_workload(name)
+    workload.n_elements = SMALL_N
+    return workload, workload.compile(config).program
+
+
+def _run(cls, workload, program, config, *, functional, sanitize):
+    pipe = cls(config, program, functional=functional, sanitize=sanitize)
+    if functional:
+        data = workload.init_data(np.random.default_rng(42))
+        for buf, values in data.items():
+            pipe.layout.set_data(buf, values)
+    stats = pipe.run()
+    return stats, pipe
+
+
+@pytest.mark.parametrize("functional", [True, False],
+                         ids=["functional", "counters-only"])
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+@pytest.mark.parametrize("name", ALL_WORKLOAD_NAMES)
+def test_sanitized_grid_is_clean_and_invisible(name, config, functional):
+    """Every workload x configuration x mode, both pipelines: a sanitized
+    run completes without a finding, actually evaluates invariants, and
+    yields byte-identical statistics to the uninstrumented run."""
+    workload, program = _compile_small(name, config)
+    for cls in (ReferencePipeline, VectorPipeline):
+        plain, _ = _run(cls, workload, program, config,
+                        functional=functional, sanitize=False)
+        checked, pipe = _run(cls, workload, program, config,
+                             functional=functional, sanitize=True)
+        assert pipe._san is not None
+        assert pipe._san.checks_run > 0
+        assert json.dumps(checked.to_dict(), sort_keys=True) == \
+            json.dumps(plain.to_dict(), sort_keys=True), (
+                f"sanitizer perturbed {cls.__name__} stats on "
+                f"{program.name}")
+
+
+def test_sanitizer_is_wired_to_every_structure():
+    """The probes land on the mapping, the VRF, the ROB and the RAT — a
+    regression here silently turns the grid above into a no-op."""
+    config = ava_config(8)
+    workload, program = _compile_small("blackscholes", config)
+    pipe = VectorPipeline(config, program, sanitize=True)
+    assert pipe.mapping.sanitizer is pipe._san
+    assert pipe.vrf.sanitizer is pipe._san
+    assert pipe.rob.sanitizer is pipe._san
+    assert pipe.rat.sanitizer is pipe._san
+    ref = ReferencePipeline(config, program, sanitize=True)
+    assert ref.mapping.sanitizer is ref._san
+    assert ref.vrf.sanitizer is ref._san
+    assert ref.rob.sanitizer is ref._san
+    assert ref.rat.sanitizer is ref._san
+
+
+def test_unsanitized_run_pays_no_probe_state():
+    config = ava_config(2)
+    workload, program = _compile_small("axpy", config)
+    pipe = VectorPipeline(config, program)
+    assert pipe._san is None
+    assert pipe.mapping.sanitizer is None
+    pipe.run()  # probes must never fire from a None sanitizer

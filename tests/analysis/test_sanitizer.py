@@ -1,0 +1,215 @@
+"""Unit tests for the microarchitectural sanitizer: every check fires on a
+hand-crafted violation, and the clean path accumulates evidence."""
+
+import pytest
+
+from repro.analysis.sanitizer import PipelineSanitizer, SanitizerError
+
+
+class _Inst:
+    def __init__(self, is_arith=True, is_load=False):
+        self.is_arith = is_arith
+        self.is_load = is_load
+
+
+class _Uop:
+    def __init__(self, src_pregs=(), dst_preg=0, rob_index=0, done_at=0,
+                 inst=None):
+        self.src_pregs = list(src_pregs)
+        self.dst_preg = dst_preg
+        self.rob_index = rob_index
+        self.done_at = done_at
+        self.inst = inst or _Inst()
+
+    def describe(self):
+        return f"stub(rob={self.rob_index})"
+
+
+class _Stats:
+    def __init__(self, span_cycles=0, spans_charged=0, cycles_skipped=0,
+                 fast_forward_cycles=0):
+        self.span_cycles = span_cycles
+        self.spans_charged = spans_charged
+        self.cycles_skipped = cycles_skipped
+        self.fast_forward_cycles = fast_forward_cycles
+
+
+class _Rat:
+    def __init__(self, rat, frl):
+        self._rat = rat
+        self._frl = frl
+
+
+def _sanitizer(cycle=100):
+    san = PipelineSanitizer(label="unit")
+    san.bind(lambda: cycle)
+    return san
+
+
+def _check(excinfo, name):
+    assert excinfo.value.check == name
+    assert f"sanitizer:{name} [unit] at cycle 100" in str(excinfo.value)
+
+
+# ---------------------------------------------------------------------------
+# VRF value-lifetime checks.
+# ---------------------------------------------------------------------------
+def test_read_of_unmapped_register_fails():
+    san = _sanitizer()
+    with pytest.raises(SanitizerError) as exc:
+        san.on_execute(_Uop(src_pregs=[3]))
+    _check(exc, "vrf-read-unmapped")
+    assert "uop=stub(rob=0)" in str(exc.value)
+
+
+def test_read_before_producer_write_fails():
+    san = _sanitizer()
+    san.on_map_alloc(vvr=7, preg=3)  # destination mapped, never written
+    with pytest.raises(SanitizerError) as exc:
+        san.on_execute(_Uop(src_pregs=[3]))
+    _check(exc, "vrf-read-before-write")
+
+
+def test_write_then_read_is_clean():
+    san = _sanitizer()
+    san.on_map_alloc(vvr=7, preg=3)
+    san.on_execute(_Uop(dst_preg=3))  # producer writes at cycle 100
+    san2 = _sanitizer(cycle=101)
+    san2._preg = san._preg  # same shadow state, later cycle
+    san2.on_execute(_Uop(src_pregs=[3], dst_preg=4, inst=_Inst()))
+    assert san.checks_run > 0
+
+
+def test_reset_alloc_classifies_legal_unwritten_read():
+    san = _sanitizer()
+    san.on_map_alloc(vvr=7, preg=3)
+    san.on_reset_alloc(preg=3)  # pre-issue: never-defined source, SRAM zeros
+    san.on_execute(_Uop(src_pregs=[3], inst=_Inst(is_arith=False)))
+
+
+def test_double_write_same_cycle_fails():
+    san = _sanitizer()
+    san.on_map_alloc(vvr=7, preg=3)
+    san.on_execute(_Uop(dst_preg=3))
+    with pytest.raises(SanitizerError) as exc:
+        san.on_execute(_Uop(dst_preg=3, rob_index=1))
+    _check(exc, "vrf-double-write")
+
+
+def test_swap_in_counts_as_a_write():
+    san = _sanitizer()
+    san.on_map_alloc(vvr=7, preg=3)
+    san.on_swap_in(vvr=7, preg=3)  # Swap-Load fills the register
+    san.on_execute(_Uop(src_pregs=[3], inst=_Inst(is_arith=False)))
+
+
+# ---------------------------------------------------------------------------
+# Swap-Store read ordering.
+# ---------------------------------------------------------------------------
+def test_overwrite_before_swap_store_read_fails():
+    san = _sanitizer()
+    san.on_map_alloc(vvr=7, preg=3)
+    san.on_execute(_Uop(dst_preg=3))
+    san.on_swap_store_emitted(preg=3)  # eviction freed it, store in flight
+    san.on_map_alloc(vvr=9, preg=3)  # new owner
+    with pytest.raises(SanitizerError) as exc:
+        san.on_execute(_Uop(dst_preg=3, rob_index=1))
+    _check(exc, "swap-store-overwrite")
+
+
+def test_swap_store_read_then_overwrite_is_clean():
+    san = _sanitizer(cycle=100)
+    san.on_map_alloc(vvr=7, preg=3)
+    san.on_execute(_Uop(dst_preg=3))
+    san.on_swap_store_emitted(preg=3)
+    san.on_swap_out(vvr=7, preg=3)  # the streaming read happened
+    san.on_map_alloc(vvr=9, preg=3)
+    san2 = _sanitizer(cycle=101)
+    san2._preg, san2._pending_swap_reads = san._preg, san._pending_swap_reads
+    san2.on_execute(_Uop(dst_preg=3, rob_index=1))
+
+
+def test_unexpected_swap_store_read_fails():
+    san = _sanitizer()
+    with pytest.raises(SanitizerError) as exc:
+        san.on_swap_out(vvr=7, preg=3)
+    _check(exc, "swap-store-unexpected")
+
+
+def test_squash_consumes_the_pending_read():
+    san = _sanitizer()
+    san.on_swap_store_emitted(preg=3)
+    san.on_swap_squashed(preg=3)  # generation died in flight
+    with pytest.raises(SanitizerError):
+        san.on_swap_squashed(preg=3)  # second squash has nothing to consume
+
+
+# ---------------------------------------------------------------------------
+# ROB / RAT checks.
+# ---------------------------------------------------------------------------
+def test_out_of_order_commit_fails():
+    san = _sanitizer()
+    san.on_commit(_Uop(rob_index=0, done_at=90))
+    with pytest.raises(SanitizerError) as exc:
+        san.on_commit(_Uop(rob_index=2, done_at=90))
+    _check(exc, "rob-out-of-order")
+
+
+def test_early_commit_fails():
+    san = _sanitizer()
+    with pytest.raises(SanitizerError) as exc:
+        san.on_commit(_Uop(rob_index=0, done_at=150))
+    _check(exc, "rob-early-commit")
+
+
+def test_aliased_rat_fails():
+    san = _sanitizer()
+    san.bind(lambda: 100, rat=_Rat(rat=[5, 5, 6], frl=[7]))
+    with pytest.raises(SanitizerError) as exc:
+        san.on_rename()
+    _check(exc, "rat-aliased")
+
+
+def test_duplicate_frl_entry_fails():
+    san = _sanitizer()
+    san.bind(lambda: 100, rat=_Rat(rat=[5, 6], frl=[7, 7]))
+    with pytest.raises(SanitizerError) as exc:
+        san.on_rename()
+    _check(exc, "rat-frl-duplicate")
+
+
+def test_mapped_register_on_the_frl_fails():
+    san = _sanitizer()
+    san.bind(lambda: 100, rat=_Rat(rat=[5, 6], frl=[6, 7]))
+    with pytest.raises(SanitizerError) as exc:
+        san.on_rename()
+    _check(exc, "rat-frl-live")
+
+
+def test_consistent_rat_is_clean():
+    san = _sanitizer()
+    san.bind(lambda: 100, rat=_Rat(rat=[5, 6], frl=[7, 8]))
+    san.on_rename()
+    assert san.checks_run == 1
+
+
+# ---------------------------------------------------------------------------
+# Span-accounting conservation.
+# ---------------------------------------------------------------------------
+def test_span_interval_conservation_fails_on_drift():
+    san = _sanitizer()
+    san.on_span(_Stats(span_cycles=10, spans_charged=2, cycles_skipped=8))
+    with pytest.raises(SanitizerError) as exc:
+        san.on_span(_Stats(span_cycles=11, spans_charged=2,
+                           cycles_skipped=8))
+    _check(exc, "span-conservation")
+
+
+def test_run_end_checks_the_fast_forward_alias():
+    san = _sanitizer()
+    san.on_run_end(_Stats(span_cycles=10, spans_charged=2, cycles_skipped=8,
+                          fast_forward_cycles=8))
+    with pytest.raises(SanitizerError) as exc:
+        san.on_run_end(_Stats(span_cycles=10, spans_charged=2,
+                              cycles_skipped=8, fast_forward_cycles=7))
+    _check(exc, "span-conservation")
